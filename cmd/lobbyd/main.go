@@ -1,0 +1,28 @@
+// Command lobbyd runs the rendezvous server that lets two retroplay clients
+// find each other by a shared session code (§2's "games lobby").
+//
+//	lobbyd -listen :7200
+package main
+
+import (
+	"flag"
+	"log"
+
+	"retrolock/internal/lobby"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lobbyd: ")
+	listen := flag.String("listen", ":7200", "UDP address to serve on")
+	flag.Parse()
+
+	srv, err := lobby.Listen(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving rendezvous on %s", srv.Addr())
+	if err := srv.Serve(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,22 @@
+// Package retrolock is a reproduction of "An Approach to Sharing Legacy
+// TV/Arcade Games for Real-Time Collaboration" (Zhao, Li, Gu, Shao, Gu —
+// ICDCS 2009): a lockstep synchronization layer that turns deterministic
+// single-computer game emulators into distributed two-player (and, with the
+// journal extensions, N-player + spectator) games without modifying the
+// games themselves.
+//
+// The repository is organized as a set of internal packages (see DESIGN.md
+// for the full inventory):
+//
+//   - internal/core — the paper's contribution: SyncInput (Algorithm 2),
+//     frame pacing (Algorithms 3-4), sessions, observers, late join.
+//   - internal/vm, internal/rom — the deterministic RK-32 fantasy console
+//     and its ROM toolchain + game library (the MAME substitute).
+//   - internal/vclock, internal/simnet, internal/netem — the virtual-time
+//     testbed (the Netem box substitute).
+//   - internal/harness — regenerates the paper's Figures 1 and 2 plus the
+//     extension experiments; see cmd/experiment and bench_test.go.
+//
+// The root package intentionally exports nothing; the executables under cmd/
+// and the runnable examples under examples/ are the entry points.
+package retrolock

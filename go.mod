@@ -1,0 +1,3 @@
+module retrolock
+
+go 1.22

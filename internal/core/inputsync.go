@@ -1,0 +1,557 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"retrolock/internal/vclock"
+)
+
+// InputSync implements Algorithm 2 (SyncInput) generalized from two sites to
+// N players plus observers. For the paper's two-site configuration the code
+// paths reduce exactly to the published pseudocode:
+//
+//   - IBuf            -> ibuf (growable instead of "unlimited array")
+//   - IBufPointer     -> pointer
+//   - LastRcvFrame[i] -> lastRcv[i]
+//   - LastAckFrame[i] -> peers[i].lastAck
+//
+// It is not safe for concurrent use; the site's frame loop owns it.
+type InputSync struct {
+	cfg   Config
+	clock vclock.Clock
+	epoch time.Time
+
+	// lag is the current local lag in frames. It starts at cfg.BufFrame
+	// and changes only through SetLag (the adaptive-lag ablation; the
+	// paper's system keeps it fixed, §4.2).
+	lag int
+
+	peers map[int]*peerState
+
+	ibuf    []uint16
+	pointer int
+	lastRcv map[int]int
+
+	// rcvAt[k] is when lastRcv[k] last advanced: MasterRcvTime for site 0
+	// (Algorithm 4) and the basis of remote-frame estimation for the
+	// rollback baseline's timesync.
+	rcvAt map[int]time.Time
+
+	stats Stats
+
+	// OnHash, when set, receives peer state digests (divergence
+	// detection); Session wires it to its hash log.
+	OnHash func(site, frame int, hash uint64)
+
+	sendBuf []byte
+}
+
+// peerState tracks per-connection protocol state.
+type peerState struct {
+	Peer
+	lastAck  int       // last own-input frame this peer acknowledged
+	lastSend time.Time // for 20 ms send pacing
+	rtt      RTTEstimator
+
+	// Echo bookkeeping for RTT measurement.
+	echoTime   uint32
+	echoRecvAt time.Time
+	haveEcho   bool
+}
+
+// Stats counts protocol activity, for the extended experiments.
+type Stats struct {
+	MsgsSent      int
+	MsgsRcvd      int
+	BytesSent     int64 // sync-protocol payload bytes on the wire
+	BytesRcvd     int64
+	InputsSent    int // input words transmitted, including retransmissions
+	InputsFresh   int // first-time receptions that advanced lastRcv
+	InputsDup     int // received input words that were already buffered
+	Waits         int // SyncInput invocations that had to block
+	WaitTime      time.Duration
+	MalformedRcvd int
+	SnapChunks    int // snapshot chunks served to late joiners
+}
+
+// NewInputSync creates the sync state for one site. epoch anchors the
+// message timestamps; every site may use its own epoch. peers lists every
+// remote site this one exchanges messages with (players and observers).
+func NewInputSync(cfg Config, clock vclock.Clock, epoch time.Time, peers []Peer) (*InputSync, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &InputSync{
+		cfg:     cfg,
+		clock:   clock,
+		epoch:   epoch,
+		lag:     cfg.BufFrame,
+		peers:   make(map[int]*peerState, len(peers)),
+		lastRcv: make(map[int]int, cfg.NumPlayers),
+		rcvAt:   make(map[int]time.Time, cfg.NumPlayers),
+		pointer: cfg.StartFrame,
+	}
+	// Initialization (paper §3): the arrays start at BufFrame-1, because
+	// the first BufFrame frames of the game carry no input (local lag).
+	// A late joiner (StartFrame > BufFrame-1) has received nothing beyond
+	// StartFrame-1; everything after its snapshot must arrive on the wire.
+	init := cfg.BufFrame - 1
+	if cfg.StartFrame-1 > init {
+		init = cfg.StartFrame - 1
+	}
+	for k := 0; k < cfg.NumPlayers; k++ {
+		s.lastRcv[k] = init
+	}
+	for _, p := range peers {
+		if p.Site == cfg.SiteNo {
+			return nil, fmt.Errorf("core: peer list contains self (site %d)", p.Site)
+		}
+		if _, dup := s.peers[p.Site]; dup {
+			return nil, fmt.Errorf("core: duplicate peer site %d", p.Site)
+		}
+		s.peers[p.Site] = &peerState{Peer: p, lastAck: init}
+	}
+	return s, nil
+}
+
+// Config returns the site configuration (with defaults applied).
+func (s *InputSync) Config() Config { return s.cfg }
+
+// Stats returns a copy of the protocol counters.
+func (s *InputSync) Stats() Stats { return s.stats }
+
+// Pointer returns the next frame to be delivered (IBufPointer).
+func (s *InputSync) Pointer() int { return s.pointer }
+
+// LastRcv returns LastRcvFrame for a player site.
+func (s *InputSync) LastRcv(site int) int { return s.lastRcv[site] }
+
+// put merges one player's partial input into the buffer slot for frame f
+// (paper: IBuf[f](SET[k]) = I(SET[k])).
+func (s *InputSync) put(f, player int, input uint16) {
+	idx := f - s.cfg.StartFrame
+	if idx >= len(s.ibuf) {
+		s.ibuf = append(s.ibuf, make([]uint16, idx+1-len(s.ibuf))...)
+	}
+	mask := s.cfg.Masks[player]
+	s.ibuf[idx] = s.ibuf[idx]&^mask | input&mask
+}
+
+// maxFrameAhead bounds how far beyond the local pointer a received frame may
+// reach. A correct peer cannot run ahead of us by more than the mutual local
+// lag (it needs our inputs to progress), so anything further is hostile or
+// corrupt and must not balloon the buffer.
+func (s *InputSync) maxFrameAhead() int {
+	return s.pointer + 2*s.cfg.BufFrame + maxInputsPerMsg
+}
+
+// get returns the merged input for frame f.
+func (s *InputSync) get(f int) uint16 {
+	idx := f - s.cfg.StartFrame
+	if idx < 0 || idx >= len(s.ibuf) {
+		return 0
+	}
+	return s.ibuf[idx]
+}
+
+// SyncInput is Algorithm 2: buffer the local input for frame F+BufFrame,
+// exchange messages until every player's input for frame F is present, and
+// return the merged input. For observers the local input is ignored.
+//
+// On a network or peer failure the call blocks, freezing the game, exactly
+// as §3.1 prescribes — unless Config.WaitTimeout bounds the wait, in which
+// case it returns ErrWaitTimeout.
+func (s *InputSync) SyncInput(input uint16, frame int) (uint16, error) {
+	if frame != s.pointer {
+		return 0, fmt.Errorf("core: SyncInput frame %d, expected %d (frames must be sequential)", frame, s.pointer)
+	}
+
+	// Lines 1-5: buffer the local partial input, delayed by the local
+	// lag. When the lag was just raised (adaptive mode), the skipped
+	// frames are filled with the same input so the remote site is never
+	// starved; when it was lowered, inputs that would land on
+	// already-submitted frames are dropped until the pointer catches up.
+	if !s.cfg.IsObserver() {
+		lagF := frame + s.lag
+		if s.lastRcv[s.cfg.SiteNo] < lagF {
+			for f := s.lastRcv[s.cfg.SiteNo] + 1; f <= lagF; f++ {
+				s.put(f, s.cfg.SiteNo, input)
+			}
+			s.lastRcv[s.cfg.SiteNo] = lagF
+		}
+	}
+
+	// Lines 6-21: exchange messages until the exit condition holds.
+	var deadline time.Time
+	if s.cfg.WaitTimeout > 0 {
+		deadline = s.clock.Now().Add(s.cfg.WaitTimeout)
+	}
+	waited := false
+	waitStart := s.clock.Now()
+	for {
+		s.Pump()
+		if s.readyLocked() {
+			break
+		}
+		if !waited {
+			waited = true
+			s.stats.Waits++
+		}
+		if s.cfg.WaitTimeout > 0 && s.clock.Now().After(deadline) {
+			return 0, fmt.Errorf("%w: frame %d still missing inputs (have %v)", ErrWaitTimeout, frame, s.lastRcv)
+		}
+		s.clock.Sleep(s.cfg.PollInterval)
+	}
+	if waited {
+		s.stats.WaitTime += s.clock.Now().Sub(waitStart)
+	}
+
+	// Lines 22-23.
+	s.pointer++
+	return s.get(s.pointer - 1), nil
+}
+
+// completeThrough returns the highest frame for which every player's input
+// is buffered — the upper bound of what may be forwarded to observers.
+func (s *InputSync) completeThrough() int {
+	min := int(^uint(0) >> 1)
+	for k := 0; k < s.cfg.NumPlayers; k++ {
+		if s.lastRcv[k] < min {
+			min = s.lastRcv[k]
+		}
+	}
+	return min
+}
+
+// readyLocked is the loop exit condition (line 21), generalized: every
+// player's inputs for the pointer frame have been received.
+func (s *InputSync) readyLocked() bool {
+	for k := 0; k < s.cfg.NumPlayers; k++ {
+		if s.lastRcv[k] < s.pointer {
+			return false
+		}
+	}
+	return true
+}
+
+// Pump performs one round of non-blocking protocol work: paced sends (lines
+// 7-11) and receive processing (lines 12-20). The frame loop calls it via
+// SyncInput; Session.Drain and the handshake call it directly.
+func (s *InputSync) Pump() {
+	now := s.clock.Now()
+	for _, p := range s.peers {
+		if now.Sub(p.lastSend) >= s.cfg.SendInterval {
+			s.sendTo(p, now)
+		}
+	}
+	for _, p := range s.peers {
+		for {
+			raw, ok := p.Conn.TryRecv()
+			if !ok {
+				break
+			}
+			s.handle(p, raw)
+		}
+	}
+}
+
+// sendTo builds and transmits one sync message to peer p: an ack for
+// everything received from p plus every own input p has not acknowledged.
+func (s *InputSync) sendTo(p *peerState, now time.Time) {
+	m := syncMsg{
+		Sender:   s.cfg.SiteNo,
+		SendTime: microsSince(s.epoch, now),
+	}
+	if p.Site < s.cfg.NumPlayers {
+		m.Ack = int32(s.lastRcv[p.Site])
+	} else {
+		m.Ack = -1 // observers contribute no inputs worth acking
+	}
+	if p.haveEcho {
+		m.EchoTime = p.echoTime
+		m.EchoDelay = uint32(now.Sub(p.echoRecvAt) / time.Microsecond)
+	}
+
+	// sd[1]..sd[2]: the unacked input backlog. To player peers a player
+	// sends its own partial inputs; to observer peers it forwards the
+	// complete merged words instead (every player's bits), so a spectator
+	// can follow the game through a single connection.
+	forwarding := !s.cfg.IsObserver() && p.Site >= s.cfg.NumPlayers
+	from, to := p.lastAck+1, -1
+	switch {
+	case forwarding:
+		to = s.completeThrough()
+	case !s.cfg.IsObserver():
+		to = s.lastRcv[s.cfg.SiteNo]
+	}
+	if to-from+1 > maxInputsPerMsg {
+		to = from + maxInputsPerMsg - 1
+	}
+	if to < from {
+		// Keepalive: ack + RTT echo only.
+		m.From, m.To = int32(s.pointer), int32(s.pointer-1)
+	} else {
+		m.From, m.To = int32(from), int32(to)
+		m.Inputs = make([]uint16, 0, to-from+1)
+		for f := from; f <= to; f++ {
+			if forwarding {
+				m.Inputs = append(m.Inputs, s.get(f))
+			} else {
+				m.Inputs = append(m.Inputs, s.get(f)&s.cfg.Masks[s.cfg.SiteNo])
+			}
+		}
+		m.Merged = forwarding
+	}
+	s.sendBuf = encodeSync(s.sendBuf, m)
+	if err := p.Conn.Send(s.sendBuf); err != nil {
+		// Unreachable peers behave like packet loss: retransmission
+		// covers recovery once the connection heals.
+		return
+	}
+	p.lastSend = now
+	s.stats.MsgsSent++
+	s.stats.BytesSent += int64(len(s.sendBuf))
+	s.stats.InputsSent += len(m.Inputs)
+}
+
+// handle processes one received datagram from peer p (lines 12-20).
+func (s *InputSync) handle(p *peerState, raw []byte) {
+	s.stats.BytesRcvd += int64(len(raw))
+	if len(raw) == 0 {
+		s.stats.MalformedRcvd++
+		return
+	}
+	switch raw[0] {
+	case msgSync:
+		m, err := decodeSync(raw)
+		if err != nil {
+			s.stats.MalformedRcvd++
+			return
+		}
+		s.handleSync(p, m)
+	case msgHash:
+		sender, frame, hash, err := decodeHash(raw)
+		if err != nil {
+			s.stats.MalformedRcvd++
+			return
+		}
+		if s.OnHash != nil {
+			s.OnHash(sender, frame, hash)
+		}
+	case msgReady, msgGo, msgJoin, msgSnapChunk, msgSnapAck:
+		// Session-level traffic arriving after the handshake (stray
+		// retransmissions); ignore.
+	default:
+		s.stats.MalformedRcvd++
+	}
+}
+
+func (s *InputSync) handleSync(p *peerState, m syncMsg) {
+	s.stats.MsgsRcvd++
+	now := s.clock.Now()
+
+	// RTT sample: the peer echoed our sendTime together with how long it
+	// held it. rtt = elapsed since we stamped it, minus the hold.
+	if m.EchoTime != 0 || m.EchoDelay != 0 {
+		elapsed := time.Duration(microsSince(s.epoch, now)-m.EchoTime) * time.Microsecond
+		hold := time.Duration(m.EchoDelay) * time.Microsecond
+		if sample := elapsed - hold; sample >= 0 && sample < time.Minute {
+			p.rtt.Sample(sample)
+		}
+	}
+	// Remember the peer's freshest timestamp to echo back.
+	p.echoTime = m.SendTime
+	p.echoRecvAt = now
+	p.haveEcho = true
+
+	if int(m.To) > s.maxFrameAhead() {
+		// Frames impossibly far in the future: drop the message (a
+		// correct peer retransmits; a hostile one must not make us
+		// allocate unboundedly).
+		s.stats.MalformedRcvd++
+		return
+	}
+
+	switch {
+	case m.Merged && s.cfg.IsObserver() && m.Sender < s.cfg.NumPlayers && m.To >= m.From:
+		// Forwarded stream: complete input words from one player.
+		for i, in := range m.Inputs {
+			f := int(m.From) + i
+			if f < s.cfg.StartFrame {
+				continue
+			}
+			for k := 0; k < s.cfg.NumPlayers; k++ {
+				s.put(f, k, in)
+			}
+		}
+		fresh := false
+		for k := 0; k < s.cfg.NumPlayers; k++ {
+			if int(m.To) > s.lastRcv[k] {
+				fresh = true
+				s.lastRcv[k] = int(m.To)
+				s.rcvAt[k] = now
+			}
+		}
+		if fresh {
+			s.stats.InputsFresh += len(m.Inputs)
+		} else {
+			s.stats.InputsDup += len(m.Inputs)
+		}
+
+	case !m.Merged && m.Sender < s.cfg.NumPlayers && m.To >= m.From:
+		// Line 13: merge the peer's partial inputs (idempotent
+		// overwrite suppresses duplicates).
+		for i, in := range m.Inputs {
+			f := int(m.From) + i
+			if f >= s.cfg.StartFrame {
+				s.put(f, m.Sender, in)
+			}
+		}
+		// Lines 14-16.
+		if int(m.To) > s.lastRcv[m.Sender] {
+			s.stats.InputsFresh += int(m.To) - s.lastRcv[m.Sender]
+			s.stats.InputsDup += len(m.Inputs) - (int(m.To) - s.lastRcv[m.Sender])
+			s.lastRcv[m.Sender] = int(m.To)
+			// For site 0 this is MasterRcvTime (§3.2): when the
+			// freshest master input arrived.
+			s.rcvAt[m.Sender] = now
+		} else {
+			s.stats.InputsDup += len(m.Inputs)
+		}
+	}
+
+	// Lines 17-19.
+	if int(m.Ack) > p.lastAck {
+		p.lastAck = int(m.Ack)
+	}
+}
+
+// MasterView is the slave's knowledge of the master site's progress, the
+// inputs to Algorithm 4.
+type MasterView struct {
+	// LastRcvFrame is LastRcvFrame[0]: the newest master frame received.
+	LastRcvFrame int
+	// RcvTime is when that input arrived (MasterRcvTime).
+	RcvTime time.Time
+	// RTT is the smoothed round-trip estimate to the master.
+	RTT time.Duration
+	// OK reports whether the view is usable (something was received and
+	// an RTT sample exists).
+	OK bool
+}
+
+// MasterView assembles the current master view. On the master itself OK is
+// always false (Algorithm 4 sets SyncAdjustTimeDelta to zero there).
+func (s *InputSync) MasterView() MasterView {
+	if s.cfg.SiteNo == 0 {
+		return MasterView{}
+	}
+	master, ok := s.peers[0]
+	rcvAt, seen := s.rcvAt[0]
+	if !ok || !seen || !master.rtt.Valid() {
+		return MasterView{}
+	}
+	return MasterView{
+		LastRcvFrame: s.lastRcv[0],
+		RcvTime:      rcvAt,
+		RTT:          master.rtt.Estimate(),
+		OK:           true,
+	}
+}
+
+// RemoteFrameEstimate extrapolates player k's current frame from its
+// freshest received input, the time since, and the transit time (RTT/2, as
+// in §3.2) — used by the rollback baseline's timesync. ok is false before
+// anything was received.
+func (s *InputSync) RemoteFrameEstimate(k int) (frame float64, ok bool) {
+	at, seen := s.rcvAt[k]
+	if !seen {
+		return 0, false
+	}
+	elapsed := s.clock.Now().Sub(at)
+	if p, direct := s.peers[k]; direct && p.rtt.Valid() {
+		elapsed += p.rtt.Estimate() / 2
+	}
+	return float64(s.lastRcv[k]) + float64(elapsed)/float64(s.cfg.TimePerFrame()), true
+}
+
+// AllAcked reports whether every peer has acknowledged this site's inputs
+// through the final buffered frame — the drain-completion condition.
+func (s *InputSync) AllAcked() bool {
+	if s.cfg.IsObserver() {
+		return true
+	}
+	final := s.lastRcv[s.cfg.SiteNo]
+	for _, p := range s.peers {
+		if p.lastAck < final {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Hooks for the rollback baseline (no-lag input exchange) -----------
+
+// RecordLocal buffers this site's input for frame f without the local-lag
+// shift and without blocking — the rollback baseline's replacement for
+// SyncInput's lines 1-5. Frames must be recorded in order.
+func (s *InputSync) RecordLocal(f int, input uint16) {
+	if s.cfg.IsObserver() || s.lastRcv[s.cfg.SiteNo] >= f {
+		return
+	}
+	s.put(f, s.cfg.SiteNo, input)
+	s.lastRcv[s.cfg.SiteNo] = f
+}
+
+// Advance moves the delivery pointer forward without delivering (the
+// rollback baseline executes frames speculatively and never blocks on the
+// pointer). The pointer also anchors the hostile-range guard.
+func (s *InputSync) Advance(frame int) {
+	if frame > s.pointer {
+		s.pointer = frame
+	}
+}
+
+// InputAt returns the merged input currently buffered for frame f. Bits of
+// players whose inputs have not arrived read as their last-put value (zero
+// if none) — callers decide how to predict.
+func (s *InputSync) InputAt(f int) uint16 { return s.get(f) }
+
+// AuthoritativeThrough returns the highest frame for which every player's
+// real input is buffered.
+func (s *InputSync) AuthoritativeThrough() int { return s.completeThrough() }
+
+// Lag returns the current local lag in frames.
+func (s *InputSync) Lag() int { return s.lag }
+
+// SetLag changes the local lag (adaptive-lag ablation). Values below zero
+// clamp to zero. The change takes effect at the next SyncInput: a raise
+// duplicates the current input over the skipped frames; a reduction drops
+// local inputs until the schedule catches up.
+func (s *InputSync) SetLag(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.lag = n
+}
+
+// FlushAcks force-sends one sync message to every peer immediately,
+// bypassing the 20 ms pacing. Called on the way out of Drain/Settle so the
+// final acknowledgement reaches peers that are still waiting for it —
+// otherwise the last site to finish burns its whole drain timeout.
+func (s *InputSync) FlushAcks() {
+	now := s.clock.Now()
+	for _, p := range s.peers {
+		s.sendTo(p, now)
+	}
+}
+
+// RTTTo returns the smoothed RTT estimate toward a peer (0 if none yet).
+func (s *InputSync) RTTTo(site int) time.Duration {
+	if p, ok := s.peers[site]; ok && p.rtt.Valid() {
+		return p.rtt.Estimate()
+	}
+	return 0
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Zero-run RLE for savestate transfer. An RK-32 savestate is a 64 KiB
+// memory image that is mostly zeros early in a game, so compressing the
+// join-time snapshot typically shrinks the transfer from ~9 UDP chunks to
+// one or two. The codec is deliberately trivial — framing is two token
+// kinds, each with a uvarint length:
+//
+//	0x00 <uvarint n>          n zero bytes
+//	0x01 <uvarint n> <bytes>  n literal bytes
+//
+// Restore speed does not matter on this path (one decompression per join),
+// so clarity wins over cleverness.
+
+const (
+	rleZeroRun = 0x00
+	rleLiteral = 0x01
+
+	// rleMinRun is the shortest zero run worth encoding as a token;
+	// shorter runs ride along inside literals.
+	rleMinRun = 4
+)
+
+// rleCompress encodes data.
+func rleCompress(data []byte) []byte {
+	out := make([]byte, 0, len(data)/8+16)
+	var scratch [binary.MaxVarintLen64]byte
+
+	emitZero := func(n int) {
+		out = append(out, rleZeroRun)
+		out = append(out, scratch[:binary.PutUvarint(scratch[:], uint64(n))]...)
+	}
+	emitLit := func(lit []byte) {
+		if len(lit) == 0 {
+			return
+		}
+		out = append(out, rleLiteral)
+		out = append(out, scratch[:binary.PutUvarint(scratch[:], uint64(len(lit)))]...)
+		out = append(out, lit...)
+	}
+
+	i := 0
+	litStart := 0
+	for i < len(data) {
+		if data[i] != 0 {
+			i++
+			continue
+		}
+		runStart := i
+		for i < len(data) && data[i] == 0 {
+			i++
+		}
+		if i-runStart >= rleMinRun {
+			emitLit(data[litStart:runStart])
+			emitZero(i - runStart)
+			litStart = i
+		}
+	}
+	emitLit(data[litStart:])
+	return out
+}
+
+// rleDecompress decodes into a buffer of exactly want bytes, failing on any
+// malformed or mismatched input.
+func rleDecompress(data []byte, want int) ([]byte, error) {
+	out := make([]byte, 0, want)
+	for len(data) > 0 {
+		kind := data[0]
+		data = data[1:]
+		n, used := binary.Uvarint(data)
+		if used <= 0 {
+			return nil, fmt.Errorf("core: rle: bad length varint")
+		}
+		data = data[used:]
+		if int(n) > want-len(out) {
+			return nil, fmt.Errorf("core: rle: output overflows %d bytes", want)
+		}
+		switch kind {
+		case rleZeroRun:
+			out = append(out, make([]byte, n)...)
+		case rleLiteral:
+			if uint64(len(data)) < n {
+				return nil, fmt.Errorf("core: rle: literal truncated")
+			}
+			out = append(out, data[:n]...)
+			data = data[n:]
+		default:
+			return nil, fmt.Errorf("core: rle: unknown token %#x", kind)
+		}
+	}
+	if len(out) != want {
+		return nil, fmt.Errorf("core: rle: decoded %d bytes, want %d", len(out), want)
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRLERoundTripBasics(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{1, 2, 3},
+		make([]byte, 1000),              // all zeros
+		append(make([]byte, 500), 0xAB), // zeros then one literal
+		append([]byte{0xCD}, make([]byte, 500)...), // literal then zeros
+		{0, 0, 0, 1, 0, 0, 0, 0, 2, 2, 0, 0},       // mixed short runs
+		bytes.Repeat([]byte{7}, 300),               // incompressible
+	}
+	for i, data := range cases {
+		comp := rleCompress(data)
+		got, err := rleDecompress(comp, len(data))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("case %d: round trip mismatch", i)
+		}
+	}
+}
+
+func TestRLECompressesSparseSavestates(t *testing.T) {
+	// A fresh console's savestate is mostly zeros: expect big savings.
+	m := &fakeMachine{}
+	m.StepFrame(1)
+	sparse := make([]byte, 70000)
+	copy(sparse, m.Save())
+	comp := rleCompress(sparse)
+	if len(comp) > len(sparse)/20 {
+		t.Errorf("sparse 70000-byte state compressed to %d bytes, want < 5%%", len(comp))
+	}
+}
+
+func TestRLEDecompressRejectsGarbage(t *testing.T) {
+	if _, err := rleDecompress([]byte{0x02, 1}, 1); err == nil {
+		t.Error("unknown token accepted")
+	}
+	if _, err := rleDecompress([]byte{rleLiteral, 5, 1, 2}, 5); err == nil {
+		t.Error("truncated literal accepted")
+	}
+	if _, err := rleDecompress([]byte{rleZeroRun, 200}, 10); err == nil {
+		t.Error("overflowing run accepted")
+	}
+	if _, err := rleDecompress(rleCompress([]byte{1, 2, 3}), 5); err == nil {
+		t.Error("wrong target length accepted")
+	}
+	if _, err := rleDecompress([]byte{rleZeroRun}, 4); err == nil {
+		t.Error("missing varint accepted")
+	}
+}
+
+func TestPropertyRLERoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		got, err := rleDecompress(rleCompress(data), len(data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: compression of zero-heavy data always wins.
+func TestPropertyRLEZeroHeavyShrinks(t *testing.T) {
+	f := func(spans []uint8) bool {
+		var data []byte
+		for i, s := range spans {
+			data = append(data, make([]byte, int(s)+rleMinRun)...)
+			data = append(data, byte(i+1))
+		}
+		if len(data) < 64 {
+			return true
+		}
+		return len(rleCompress(data)) < len(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,30 @@
+package core
+
+import "time"
+
+// RTTEstimator smooths round-trip samples with the classic exponentially
+// weighted moving average (new = 7/8 old + 1/8 sample), the same shape TCP
+// uses. The paper estimates one-way latency as RTT/2 (§3.2).
+type RTTEstimator struct {
+	est   time.Duration
+	valid bool
+}
+
+// Sample folds one measurement into the estimate.
+func (r *RTTEstimator) Sample(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	if !r.valid {
+		r.est = d
+		r.valid = true
+		return
+	}
+	r.est = (7*r.est + d) / 8
+}
+
+// Estimate returns the smoothed RTT (0 before the first sample).
+func (r *RTTEstimator) Estimate() time.Duration { return r.est }
+
+// Valid reports whether at least one sample has been folded in.
+func (r *RTTEstimator) Valid() bool { return r.valid }

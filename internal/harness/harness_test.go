@@ -1,0 +1,269 @@
+package harness
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func run(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestLowLatencyRunsAtSixtyFPS(t *testing.T) {
+	res := run(t, Config{RTT: 40 * time.Millisecond, Frames: 600, Seed: 1})
+	if !res.Converged {
+		t.Fatal("replicas diverged")
+	}
+	for site, sr := range res.Sites {
+		if sr.FPS < 58 || sr.FPS > 62 {
+			t.Errorf("site %d FPS = %.1f, want ~60", site, sr.FPS)
+		}
+		if sr.FrameTimes.MAD > 2 {
+			t.Errorf("site %d frame-time MAD = %.2fms, want ~0 at RTT 40ms", site, sr.FrameTimes.MAD)
+		}
+		if sr.Frames != 600 {
+			t.Errorf("site %d executed %d frames, want 600", site, sr.Frames)
+		}
+	}
+	if res.Sync.AbsMean > 10 {
+		t.Errorf("cross-site sync = %.2fms, want < 10ms at RTT 40ms", res.Sync.AbsMean)
+	}
+}
+
+func TestHighLatencySlowsTheGame(t *testing.T) {
+	low := run(t, Config{RTT: 40 * time.Millisecond, Frames: 400, Seed: 2})
+	high := run(t, Config{RTT: 300 * time.Millisecond, Frames: 400, Seed: 2})
+	if !high.Converged {
+		t.Fatal("high-latency run diverged")
+	}
+	if high.Sites[0].FrameTimes.Mean <= low.Sites[0].FrameTimes.Mean+5 {
+		t.Errorf("RTT 300ms frame time %.2fms vs RTT 40ms %.2fms; game did not slow down",
+			high.Sites[0].FrameTimes.Mean, low.Sites[0].FrameTimes.Mean)
+	}
+	if high.Sites[0].FPS >= 55 {
+		t.Errorf("FPS at RTT 300ms = %.1f, want well below 60", high.Sites[0].FPS)
+	}
+}
+
+func TestLossyLinkStillConverges(t *testing.T) {
+	res := run(t, Config{RTT: 60 * time.Millisecond, Loss: 0.10, Frames: 500, Seed: 3})
+	if !res.Converged {
+		t.Fatal("replicas diverged under 10% loss")
+	}
+	if res.Sites[0].Stats.InputsDup == 0 {
+		t.Error("no retransmissions observed despite loss")
+	}
+}
+
+func TestObserversConverge(t *testing.T) {
+	res := run(t, Config{RTT: 50 * time.Millisecond, Frames: 300, Seed: 4, Observers: 2})
+	if len(res.Sites) != 4 {
+		t.Fatalf("sites = %d, want 4 (2 players + 2 observers)", len(res.Sites))
+	}
+	if !res.Converged {
+		t.Fatal("observer replicas diverged")
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	a := run(t, Config{RTT: 120 * time.Millisecond, Jitter: 5 * time.Millisecond, Loss: 0.02, Frames: 300, Seed: 42})
+	b := run(t, Config{RTT: 120 * time.Millisecond, Jitter: 5 * time.Millisecond, Loss: 0.02, Frames: 300, Seed: 42})
+	if a.Sites[0].FrameTimes.Mean != b.Sites[0].FrameTimes.Mean ||
+		a.Sync.AbsMean != b.Sync.AbsMean ||
+		a.Sites[0].FinalHash != b.Sites[0].FinalHash {
+		t.Fatalf("identical seeds produced different results:\n%+v\n%+v", a.Sites[0], b.Sites[0])
+	}
+	c := run(t, Config{RTT: 120 * time.Millisecond, Jitter: 5 * time.Millisecond, Loss: 0.02, Frames: 300, Seed: 43})
+	if a.Sync.AbsMean == c.Sync.AbsMean && a.Sites[0].FrameTimes.MAD == c.Sites[0].FrameTimes.MAD {
+		t.Error("different seeds produced identical timing statistics (suspicious)")
+	}
+}
+
+func TestNaivePacerPenalizesEarlierSite(t *testing.T) {
+	base := Config{
+		RTT:           80 * time.Millisecond,
+		Frames:        500,
+		Seed:          5,
+		StartOffset:   120 * time.Millisecond,
+		SkipHandshake: true,
+	}
+	naive := base
+	naive.NaivePacer = true
+	withA4 := run(t, base)
+	withNaive := run(t, naive)
+	// Site 0 (the earlier site) suffers with the naive pacer; Algorithm 4
+	// shifts the adjustment onto the slave and stabilizes it.
+	if withA4.Sites[0].FrameTimes.MAD > withNaive.Sites[0].FrameTimes.MAD {
+		t.Errorf("earlier site MAD: algorithm4=%.2fms naive=%.2fms; master/slave pacing should be smoother",
+			withA4.Sites[0].FrameTimes.MAD, withNaive.Sites[0].FrameTimes.MAD)
+	}
+	if !withNaive.Converged || !withA4.Converged {
+		t.Error("ablation runs diverged")
+	}
+}
+
+func TestARQBaselineConverges(t *testing.T) {
+	res := run(t, Config{RTT: 60 * time.Millisecond, Frames: 300, Seed: 6, ARQ: true})
+	if !res.Converged {
+		t.Fatal("ARQ baseline diverged")
+	}
+}
+
+func TestARQSuffersUnderLoss(t *testing.T) {
+	udp := run(t, Config{RTT: 60 * time.Millisecond, Loss: 0.05, Frames: 400, Seed: 7})
+	arq := run(t, Config{RTT: 60 * time.Millisecond, Loss: 0.05, Frames: 400, Seed: 7, ARQ: true})
+	if !arq.Converged {
+		t.Fatal("ARQ lossy run diverged")
+	}
+	// Head-of-line blocking: the reliable transport's frame-time tail is
+	// worse than the UDP lockstep's under the same loss.
+	if arq.Sites[0].FrameTimes.Max < udp.Sites[0].FrameTimes.Max {
+		t.Logf("note: ARQ max %.2fms vs UDP max %.2fms", arq.Sites[0].FrameTimes.Max, udp.Sites[0].FrameTimes.Max)
+	}
+	if arq.Sites[0].FrameTimes.MAD+0.01 < udp.Sites[0].FrameTimes.MAD {
+		t.Errorf("ARQ under loss smoother than UDP lockstep (MAD %.3f vs %.3f); HoL blocking missing",
+			arq.Sites[0].FrameTimes.MAD, udp.Sites[0].FrameTimes.MAD)
+	}
+}
+
+func TestSweepRTTProducesMonotonicThreshold(t *testing.T) {
+	rtts := []time.Duration{0, 80 * time.Millisecond, 160 * time.Millisecond, 320 * time.Millisecond}
+	points, err := SweepRTT(Config{Frames: 300, Seed: 8}, rtts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(rtts) {
+		t.Fatalf("points = %d, want %d", len(points), len(rtts))
+	}
+	// Below the threshold the frame time stays ~16.7ms; far above it it
+	// must grow.
+	if m := points[0].Result.Sites[0].FrameTimes.Mean; math.Abs(m-16.7) > 1 {
+		t.Errorf("RTT 0 frame time %.2fms, want ~16.7ms", m)
+	}
+	// At RTT 320ms the equilibrium frame period is roughly
+	// (RTT/2 + send delays) / BufFrame ≈ 25ms — clearly degraded.
+	if points[3].Result.Sites[0].FrameTimes.Mean < points[0].Result.Sites[0].FrameTimes.Mean+5 {
+		t.Errorf("RTT 320ms frame time %.2fms did not degrade vs %.2fms",
+			points[3].Result.Sites[0].FrameTimes.Mean, points[0].Result.Sites[0].FrameTimes.Mean)
+	}
+}
+
+func TestSweepLoss(t *testing.T) {
+	out, err := SweepLoss(Config{RTT: 60 * time.Millisecond, Frames: 300, Seed: 9},
+		[]float64{0, 0.05}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("results = %d, want 2", len(out))
+	}
+	for loss, res := range out {
+		if !res.Converged {
+			t.Errorf("loss %.2f diverged", loss)
+		}
+	}
+}
+
+func TestPaperRTTs(t *testing.T) {
+	rtts := PaperRTTs()
+	if len(rtts) != 25 {
+		t.Fatalf("sweep has %d points, want 25 (0-200/10 + 250-400/50)", len(rtts))
+	}
+	if rtts[0] != 0 || rtts[20] != 200*time.Millisecond || rtts[len(rtts)-1] != 400*time.Millisecond {
+		t.Errorf("sweep endpoints wrong: %v", rtts)
+	}
+}
+
+func TestAllGamesRunUnderHarness(t *testing.T) {
+	for _, game := range []string{"pong", "duel", "tanks"} {
+		res := run(t, Config{RTT: 30 * time.Millisecond, Frames: 200, Seed: 10, Game: game})
+		if !res.Converged {
+			t.Errorf("%s diverged", game)
+		}
+	}
+}
+
+func TestUnknownGameFails(t *testing.T) {
+	if _, err := Run(Config{Game: "zork", Frames: 10}); err == nil {
+		t.Fatal("unknown game accepted")
+	}
+}
+
+func TestRollbackBaselineConvergesAndHoldsFPS(t *testing.T) {
+	res := run(t, Config{RTT: 80 * time.Millisecond, Frames: 400, Seed: 11, Rollback: true})
+	if !res.Converged {
+		t.Fatal("rollback replicas diverged")
+	}
+	s := res.Sites[0]
+	if s.FPS < 56 {
+		t.Errorf("rollback FPS = %.1f at RTT 80ms, want ~60 (latency hiding)", s.FPS)
+	}
+	if s.Rollback.Rollbacks == 0 {
+		t.Error("no rollbacks recorded; baseline not exercised")
+	}
+	if s.Rollback.SnapshotBytes == 0 {
+		t.Error("no snapshot volume recorded")
+	}
+}
+
+func TestRollbackRejectsObservers(t *testing.T) {
+	if _, err := Run(Config{Frames: 10, Rollback: true, Observers: 1}); err == nil {
+		t.Fatal("rollback with observers accepted")
+	}
+}
+
+// TestSoakChurningNetwork runs a 10-virtual-minute session through rotating
+// network regimes (latency jumps, loss bursts) — a stability soak. Skipped
+// under -short.
+func TestSoakChurningNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in short mode")
+	}
+	res := run(t, Config{
+		RTT:        60 * time.Millisecond,
+		RTTSwing:   160 * time.Millisecond,
+		SwingEvery: 7 * time.Second,
+		Loss:       0.03,
+		BurstLoss:  true,
+		Jitter:     4 * time.Millisecond,
+		Frames:     36000, // 10 minutes at 60 FPS
+		Seed:       99,
+		Game:       "duel",
+	})
+	if !res.Converged {
+		t.Fatal("soak run diverged")
+	}
+	for site, s := range res.Sites {
+		if s.Frames != 36000 {
+			t.Errorf("site %d executed %d frames, want 36000", site, s.Frames)
+		}
+		if s.FPS < 45 {
+			t.Errorf("site %d averaged %.1f FPS across the churn, want >= 45", site, s.FPS)
+		}
+	}
+}
+
+func TestRunSeedsSpread(t *testing.T) {
+	mr, err := RunSeeds(Config{RTT: 150 * time.Millisecond, Frames: 400, Seed: 1,
+		ProcDelay: 40 * time.Millisecond}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mr.Converged {
+		t.Fatal("a seeded run diverged")
+	}
+	if mr.FrameTime.N != 3 {
+		t.Fatalf("aggregated %d runs, want 3", mr.FrameTime.N)
+	}
+	// At RTT 150 with the paper calibration the deviation varies by seed;
+	// the spread statistics must be sane (non-negative, min <= max).
+	if mr.Deviation.Min > mr.Deviation.Max || mr.Deviation.Min < 0 {
+		t.Fatalf("deviation spread corrupt: %+v", mr.Deviation)
+	}
+}

@@ -1,0 +1,176 @@
+// Package lobby implements the rendezvous mechanism the paper assumes for
+// session setup (§2: "Some rendezvous mechanism is required for them to find
+// each other, such as instant messenger and games lobby").
+//
+// The protocol is a minimal UDP exchange. A client announces itself with
+//
+//	JOIN <session> <site>
+//
+// and the server replies, once both players of <session> are known, with
+//
+//	PEER <site> <addr>
+//
+// telling each client the other's public address, after which the clients
+// talk directly (the lobby is not in the game path). Messages are plain text
+// for easy debugging with netcat.
+package lobby
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// sessionTTL is how long an idle session entry survives before the server
+// forgets it; rendezvous retries re-create entries, so expiry only bounds
+// memory against abandoned or hostile JOINs.
+const sessionTTL = 10 * time.Minute
+
+// Session is one pending pairing.
+type session struct {
+	addrs    map[int]net.Addr // site -> announced address
+	lastSeen time.Time
+}
+
+// Server pairs clients by session code.
+type Server struct {
+	pc net.PacketConn
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	closed   bool
+	now      func() time.Time // test hook
+}
+
+// Listen binds a lobby server to addr (e.g. ":7200").
+func Listen(addr string) (*Server, error) {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("lobby: listen: %w", err)
+	}
+	return &Server{pc: pc, sessions: make(map[string]*session), now: time.Now}, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.pc.LocalAddr().String() }
+
+// Serve handles rendezvous requests until Close.
+func (s *Server) Serve() error {
+	buf := make([]byte, 256)
+	for {
+		n, from, err := s.pc.ReadFrom(buf)
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("lobby: read: %w", err)
+		}
+		s.handle(strings.TrimSpace(string(buf[:n])), from)
+	}
+}
+
+func (s *Server) handle(msg string, from net.Addr) {
+	fields := strings.Fields(msg)
+	if len(fields) != 3 || fields[0] != "JOIN" {
+		return
+	}
+	code := fields[1]
+	site, err := strconv.Atoi(fields[2])
+	if err != nil || site < 0 || site > 63 {
+		return
+	}
+	s.mu.Lock()
+	now := s.now()
+	// Expire abandoned sessions so the map stays bounded.
+	for c, old := range s.sessions {
+		if now.Sub(old.lastSeen) > sessionTTL {
+			delete(s.sessions, c)
+		}
+	}
+	sess, ok := s.sessions[code]
+	if !ok {
+		sess = &session{addrs: make(map[int]net.Addr)}
+		s.sessions[code] = sess
+	}
+	sess.lastSeen = now
+	sess.addrs[site] = from
+	// Snapshot for reply outside the lock.
+	type peerInfo struct {
+		site int
+		addr net.Addr
+	}
+	var peers []peerInfo
+	if len(sess.addrs) >= 2 {
+		for k, a := range sess.addrs {
+			peers = append(peers, peerInfo{k, a})
+		}
+	}
+	s.mu.Unlock()
+
+	// Once two (or more) sites are present, tell everyone about everyone.
+	for _, to := range peers {
+		for _, other := range peers {
+			if other.site == to.site {
+				continue
+			}
+			reply := fmt.Sprintf("PEER %d %s", other.site, other.addr.String())
+			_, _ = s.pc.WriteTo([]byte(reply), to.addr)
+		}
+	}
+}
+
+// Close stops Serve.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	return s.pc.Close()
+}
+
+// Rendezvous announces (session, site) to the lobby at serverAddr from a
+// fresh UDP socket and waits until the peer's address is learned. It returns
+// the local socket (to be reused for the game, so NAT bindings stay warm)
+// and the peer address.
+//
+// The socket is unconnected; callers typically extract the local address,
+// close it, and dial a connected socket toward peerAddr.
+func Rendezvous(serverAddr, session string, site, peerSite int, timeout time.Duration) (localAddr, peerAddr string, err error) {
+	raddr, err := net.ResolveUDPAddr("udp", serverAddr)
+	if err != nil {
+		return "", "", fmt.Errorf("lobby: resolve %q: %w", serverAddr, err)
+	}
+	sock, err := net.ListenUDP("udp", nil)
+	if err != nil {
+		return "", "", fmt.Errorf("lobby: bind: %w", err)
+	}
+	defer sock.Close()
+	localAddr = sock.LocalAddr().String()
+
+	join := []byte(fmt.Sprintf("JOIN %s %d", session, site))
+	deadline := time.Now().Add(timeout)
+	buf := make([]byte, 256)
+	for time.Now().Before(deadline) {
+		if _, err := sock.WriteTo(join, raddr); err != nil {
+			return "", "", fmt.Errorf("lobby: send join: %w", err)
+		}
+		_ = sock.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, _, err := sock.ReadFrom(buf)
+		if err != nil {
+			continue // timeout: re-announce
+		}
+		fields := strings.Fields(string(buf[:n]))
+		if len(fields) == 3 && fields[0] == "PEER" {
+			got, convErr := strconv.Atoi(fields[1])
+			if convErr == nil && got == peerSite {
+				return localAddr, fields[2], nil
+			}
+		}
+	}
+	return "", "", fmt.Errorf("lobby: timed out waiting for peer %d of session %q", peerSite, session)
+}

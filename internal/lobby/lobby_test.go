@@ -1,0 +1,202 @@
+package lobby
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("udp unavailable: %v", err)
+	}
+	go func() { _ = srv.Serve() }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv
+}
+
+func TestRendezvousPairsTwoClients(t *testing.T) {
+	srv := startServer(t)
+
+	type result struct {
+		local, peer string
+		err         error
+	}
+	results := make([]result, 2)
+	var wg sync.WaitGroup
+	for site := 0; site < 2; site++ {
+		site := site
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l, p, err := Rendezvous(srv.Addr(), "game42", site, 1-site, 5*time.Second)
+			results[site] = result{l, p, err}
+		}()
+	}
+	wg.Wait()
+	for site, r := range results {
+		if r.err != nil {
+			t.Fatalf("site %d: %v", site, r.err)
+		}
+	}
+	// Each site must have learned the other's socket (the local bind is a
+	// wildcard address, so compare ports).
+	port := func(addr string) string {
+		_, p, err := net.SplitHostPort(addr)
+		if err != nil {
+			t.Fatalf("bad address %q: %v", addr, err)
+		}
+		return p
+	}
+	if port(results[0].peer) != port(results[1].local) {
+		t.Errorf("site 0 got peer %q, site 1 announced %q", results[0].peer, results[1].local)
+	}
+	if port(results[1].peer) != port(results[0].local) {
+		t.Errorf("site 1 got peer %q, site 0 announced %q", results[1].peer, results[0].local)
+	}
+}
+
+func TestSessionsAreIsolated(t *testing.T) {
+	srv := startServer(t)
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := Rendezvous(srv.Addr(), "sessionA", 0, 1, 700*time.Millisecond)
+		done <- err
+	}()
+	// A client of a different session must not pair with sessionA.
+	go func() {
+		_, _, _ = Rendezvous(srv.Addr(), "sessionB", 1, 0, 700*time.Millisecond)
+	}()
+	if err := <-done; err == nil {
+		t.Fatal("clients of different sessions were paired")
+	}
+}
+
+func TestServerIgnoresGarbage(t *testing.T) {
+	srv := startServer(t)
+	conn, err := net.Dial("udp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for _, msg := range []string{"", "HELLO", "JOIN onlytwo", "JOIN s notanumber", "JOIN s 999"} {
+		if _, err := conn.Write([]byte(msg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The server must still pair valid clients afterwards.
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for site := 0; site < 2; site++ {
+		site := site
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, errs[site] = Rendezvous(srv.Addr(), "after-garbage", site, 1-site, 5*time.Second)
+		}()
+	}
+	wg.Wait()
+	for site, err := range errs {
+		if err != nil {
+			t.Fatalf("site %d after garbage: %v", site, err)
+		}
+	}
+}
+
+func TestRendezvousTimesOutAlone(t *testing.T) {
+	srv := startServer(t)
+	start := time.Now()
+	_, _, err := Rendezvous(srv.Addr(), "lonely", 0, 1, 500*time.Millisecond)
+	if err == nil {
+		t.Fatal("lonely client paired with nobody")
+	}
+	if !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+	if time.Since(start) < 450*time.Millisecond {
+		t.Fatal("returned before the timeout elapsed")
+	}
+}
+
+func TestThreeSiteSession(t *testing.T) {
+	// Two players and an observer all in one session: every client learns
+	// the address of every other site it asks for.
+	srv := startServer(t)
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	// Site 0 waits for site 1; the observer (site 2) waits for site 0.
+	pairs := [][2]int{{0, 1}, {1, 0}, {2, 0}}
+	for i, p := range pairs {
+		i, p := i, p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, errs[i] = Rendezvous(srv.Addr(), "trio", p[0], p[1], 5*time.Second)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+}
+
+func TestAbandonedSessionsExpire(t *testing.T) {
+	srv := startServer(t)
+	base := time.Now()
+	current := base
+	srv.mu.Lock()
+	srv.now = func() time.Time { return current }
+	srv.mu.Unlock()
+
+	conn, err := net.Dial("udp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("JOIN ghost 0")); err != nil {
+		t.Fatal(err)
+	}
+	waitSessions := func(want int) {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			srv.mu.Lock()
+			n := len(srv.sessions)
+			srv.mu.Unlock()
+			if n == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("sessions = %d, want %d", n, want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitSessions(1)
+
+	// Jump past the TTL; the next join of a different session sweeps it.
+	current = base.Add(sessionTTL + time.Minute)
+	if _, err := conn.Write([]byte("JOIN fresh 0")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		srv.mu.Lock()
+		_, ghost := srv.sessions["ghost"]
+		_, fresh := srv.sessions["fresh"]
+		srv.mu.Unlock()
+		if !ghost && fresh {
+			return // expired and replaced, as intended
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ghost=%v fresh=%v, want expired/present", ghost, fresh)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ASCII chart rendering, so cmd/experiment can draw the paper's figures
+// directly in a terminal next to the numeric tables.
+
+// ChartSeries is one plotted line.
+type ChartSeries struct {
+	Name   string
+	Marker byte // glyph used for this series' points
+	Points []float64
+}
+
+// Chart renders one or more series over a shared x axis as a fixed-size
+// ASCII plot. xlabels supplies tick labels for selected x positions (may be
+// nil); height is the number of plot rows (minimum 4).
+func Chart(title string, xlabels []string, height int, series ...ChartSeries) string {
+	if height < 4 {
+		height = 4
+	}
+	width := 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.Points) > width {
+			width = len(s.Points)
+		}
+		for _, v := range s.Points {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if width == 0 || math.IsInf(lo, 1) {
+		return title + "\n  (no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	const colsPerPoint = 3
+	plotW := width * colsPerPoint
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", plotW))
+	}
+	for _, s := range series {
+		for i, v := range s.Points {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			row := int(math.Round((hi - v) / (hi - lo) * float64(height-1)))
+			col := i*colsPerPoint + 1
+			grid[row][col] = s.Marker
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r := range grid {
+		val := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%8.1f |%s\n", val, grid[r])
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", plotW))
+	if len(xlabels) > 0 {
+		lab := make([]byte, plotW)
+		for i := range lab {
+			lab[i] = ' '
+		}
+		for i, l := range xlabels {
+			if l == "" || i >= width {
+				continue
+			}
+			pos := i * colsPerPoint
+			for j := 0; j < len(l) && pos+j < plotW; j++ {
+				lab[pos+j] = l[j]
+			}
+		}
+		fmt.Fprintf(&b, "%8s  %s\n", "", string(lab))
+	}
+	var legend []string
+	for _, s := range series {
+		legend = append(legend, fmt.Sprintf("%c = %s", s.Marker, s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "%8s  %s\n", "", strings.Join(legend, ", "))
+	}
+	return b.String()
+}

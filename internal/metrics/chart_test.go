@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasicShape(t *testing.T) {
+	out := Chart("Test Figure", []string{"0", "", "100"}, 6,
+		ChartSeries{Name: "frame time", Marker: '*', Points: []float64{16.7, 16.7, 30}},
+		ChartSeries{Name: "deviation", Marker: 'o', Points: []float64{0, 5, 20}},
+	)
+	if !strings.Contains(out, "Test Figure") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* = frame time") || !strings.Contains(out, "o = deviation") {
+		t.Error("missing legend")
+	}
+	if strings.Count(out, "*") < 3+1 { // 3 points + legend glyph
+		t.Errorf("expected 3 plotted '*' points:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 8 {
+		t.Errorf("chart too short: %d lines", len(lines))
+	}
+	// The max (30) must appear on the top plot row, the min (0) at the bottom.
+	if !strings.Contains(lines[1], "*") {
+		t.Errorf("max point not on the top row:\n%s", out)
+	}
+	if !strings.Contains(out, "0") {
+		t.Error("x label missing")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart("Empty", nil, 5)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart output: %q", out)
+	}
+}
+
+func TestChartFlatSeries(t *testing.T) {
+	out := Chart("Flat", nil, 5, ChartSeries{Name: "c", Marker: 'x', Points: []float64{5, 5, 5}})
+	if strings.Count(out, "x") < 3 {
+		t.Errorf("flat series not plotted:\n%s", out)
+	}
+}
+
+func TestChartMinimumHeight(t *testing.T) {
+	out := Chart("Tiny", nil, 1, ChartSeries{Name: "c", Marker: 'x', Points: []float64{1, 2}})
+	if len(strings.Split(strings.TrimRight(out, "\n"), "\n")) < 5 {
+		t.Errorf("height not clamped up:\n%s", out)
+	}
+}

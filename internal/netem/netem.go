@@ -1,0 +1,228 @@
+// Package netem emulates wide-area network conditions, standing in for the
+// Linux Netem box of the paper's testbed (§4).
+//
+// An Emulator shapes one direction of a link. It supports the same knobs the
+// paper's experiments turn — base one-way delay, jitter, random loss,
+// duplication, reordering — plus two the paper's §4.2 analysis accounts for
+// implicitly: a bounded uniform processing delay (the 10 ms sender-thread
+// scheduling quantum, ~5 ms average) and an optional serialization rate.
+//
+// All randomness comes from a seeded PRNG, so a virtual-time experiment with
+// a fixed seed reproduces bit-identical results.
+package netem
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"retrolock/internal/simnet"
+)
+
+// Config describes one direction of an emulated link.
+type Config struct {
+	// Delay is the base one-way propagation delay. The paper sweeps the
+	// round-trip time, i.e. Delay = RTT/2 per direction.
+	Delay time.Duration
+
+	// Jitter spreads each packet's delay uniformly over
+	// [Delay-Jitter, Delay+Jitter], like `netem delay D J`.
+	Jitter time.Duration
+
+	// ProcDelay adds a uniform [0, ProcDelay) delay per packet, modelling
+	// the endpoint's sender-thread scheduling quantum (§4.2 assumes 10 ms,
+	// i.e. a 5 ms average submit-to-wire delay).
+	ProcDelay time.Duration
+
+	// Loss is the independent per-packet drop probability in [0,1].
+	Loss float64
+
+	// BurstLoss switches the loss process from independent (Bernoulli) to
+	// a two-state Gilbert-Elliott chain with the same long-run loss rate
+	// but clustered drops: once in the bad state, packets drop with
+	// probability BadLoss until the chain recovers. Real Internet loss is
+	// bursty, which stresses range retransmission much harder than
+	// independent loss of the same rate.
+	BurstLoss bool
+	// MeanBurst is the expected bad-state dwell time in packets (default
+	// 4). Larger values concentrate the same loss rate into longer
+	// outages.
+	MeanBurst float64
+	// BadLoss is the drop probability inside a burst (default 1.0).
+	BadLoss float64
+
+	// Duplicate is the probability that a packet is delivered twice; the
+	// copy gets an independently jittered delay.
+	Duplicate float64
+
+	// Reorder is the probability that a packet is held back by
+	// ReorderExtra, overtaking later traffic. Jitter alone also reorders;
+	// this knob forces it even on jitter-free links.
+	Reorder float64
+
+	// ReorderExtra is the extra delay applied to reordered packets. Zero
+	// defaults to 4*Jitter or, if Jitter is zero, 10 ms.
+	ReorderExtra time.Duration
+
+	// Rate, if positive, is the link bandwidth in bits per second. Packets
+	// are serialized through a single queue: a packet's transmission may
+	// not begin before the previous one finished.
+	Rate int64
+
+	// Seed initializes the shaper's PRNG. Two directions of a link should
+	// use different seeds.
+	Seed int64
+}
+
+// Symmetric returns per-direction configs for a link with round-trip time
+// rtt and the given jitter/loss applied to each direction independently.
+// Per §4 of the paper, the one-way latency is estimated as RTT/2.
+func Symmetric(rtt, jitter time.Duration, loss float64, seed int64) (fwd, rev Config) {
+	base := Config{Delay: rtt / 2, Jitter: jitter, Loss: loss}
+	fwd, rev = base, base
+	fwd.Seed = seed
+	rev.Seed = seed + 1
+	return fwd, rev
+}
+
+// Emulator shapes packets for one direction of a link. It implements
+// simnet.Shaper. Safe for concurrent use.
+type Emulator struct {
+	mu        sync.Mutex
+	cfg       Config
+	rng       *rand.Rand
+	busyUntil time.Time
+	inBurst   bool
+
+	planned    int
+	dropped    int
+	duplicated int
+	reordered  int
+}
+
+// New creates an Emulator for cfg.
+func New(cfg Config) *Emulator {
+	if cfg.BurstLoss {
+		if cfg.MeanBurst <= 1 {
+			cfg.MeanBurst = 4
+		}
+		if cfg.BadLoss <= 0 || cfg.BadLoss > 1 {
+			cfg.BadLoss = 1
+		}
+	}
+	return &Emulator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Config returns the emulator's configuration.
+func (e *Emulator) Config() Config {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cfg
+}
+
+// Plan implements simnet.Shaper.
+func (e *Emulator) Plan(now time.Time, size int) []time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.planned++
+
+	if e.dropLocked() {
+		e.dropped++
+		return nil
+	}
+
+	offset := e.oneWayLocked()
+
+	if e.cfg.Rate > 0 {
+		tx := time.Duration(int64(size) * 8 * int64(time.Second) / e.cfg.Rate)
+		start := now
+		if e.busyUntil.After(start) {
+			start = e.busyUntil
+		}
+		e.busyUntil = start.Add(tx)
+		offset += e.busyUntil.Sub(now)
+	}
+
+	if e.cfg.Reorder > 0 && e.rng.Float64() < e.cfg.Reorder {
+		e.reordered++
+		offset += e.reorderExtraLocked()
+	}
+
+	offsets := []time.Duration{offset}
+	if e.cfg.Duplicate > 0 && e.rng.Float64() < e.cfg.Duplicate {
+		e.duplicated++
+		offsets = append(offsets, e.oneWayLocked())
+	}
+	return offsets
+}
+
+// dropLocked decides one packet's fate under the configured loss process.
+func (e *Emulator) dropLocked() bool {
+	if e.cfg.Loss <= 0 {
+		return false
+	}
+	if !e.cfg.BurstLoss {
+		return e.rng.Float64() < e.cfg.Loss
+	}
+	// Gilbert-Elliott: choose transition probabilities so the stationary
+	// bad-state share is Loss/BadLoss and the mean bad dwell is MeanBurst
+	// packets.
+	pBadShare := e.cfg.Loss / e.cfg.BadLoss
+	if pBadShare > 1 {
+		pBadShare = 1
+	}
+	pRecover := 1 / e.cfg.MeanBurst
+	pEnter := pRecover * pBadShare / (1 - pBadShare + 1e-12)
+	if e.inBurst {
+		if e.rng.Float64() < pRecover {
+			e.inBurst = false
+		}
+	} else if e.rng.Float64() < pEnter {
+		e.inBurst = true
+	}
+	return e.inBurst && e.rng.Float64() < e.cfg.BadLoss
+}
+
+func (e *Emulator) oneWayLocked() time.Duration {
+	d := e.cfg.Delay
+	if j := e.cfg.Jitter; j > 0 {
+		d += time.Duration(e.rng.Int63n(int64(2*j))) - j
+	}
+	if p := e.cfg.ProcDelay; p > 0 {
+		d += time.Duration(e.rng.Int63n(int64(p)))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+func (e *Emulator) reorderExtraLocked() time.Duration {
+	if e.cfg.ReorderExtra > 0 {
+		return e.cfg.ReorderExtra
+	}
+	if e.cfg.Jitter > 0 {
+		return 4 * e.cfg.Jitter
+	}
+	return 10 * time.Millisecond
+}
+
+// Stats reports lifetime counters: packets planned, dropped, duplicated and
+// deliberately reordered.
+func (e *Emulator) Stats() (planned, dropped, duplicated, reordered int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.planned, e.dropped, e.duplicated, e.reordered
+}
+
+// Install wires a bidirectional emulated link between addresses a and b on
+// net, returning the two per-direction emulators (a->b, b->a).
+func Install(n *simnet.Network, a, b string, fwd, rev Config) (*Emulator, *Emulator) {
+	ef := New(fwd)
+	er := New(rev)
+	n.SetLink(a, b, ef)
+	n.SetLink(b, a, er)
+	return ef, er
+}
+
+var _ simnet.Shaper = (*Emulator)(nil)

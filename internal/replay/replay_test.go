@@ -1,0 +1,154 @@
+package replay
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"retrolock/internal/rom/games"
+	"retrolock/internal/vm"
+)
+
+func bootGame(t *testing.T, name string) *vm.Console {
+	t.Helper()
+	c, err := games.MustLoad(name).Boot()
+	if err != nil {
+		t.Fatalf("boot %s: %v", name, err)
+	}
+	return c
+}
+
+func TestRecordAndVerifyAllGames(t *testing.T) {
+	for _, name := range games.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			c := bootGame(t, name)
+			rec := NewRecorder(name, c, 30)
+			rng := rand.New(rand.NewSource(11))
+			for f := 0; f < 400; f++ {
+				in := uint16(rng.Intn(0x10000))
+				c.StepFrame(in)
+				rec.OnFrame(in)
+			}
+			log := rec.Log()
+			if len(log.Checkpoints) != 400/30 {
+				t.Fatalf("checkpoints = %d, want %d", len(log.Checkpoints), 400/30)
+			}
+			if err := log.Verify(bootGame(t, name)); err != nil {
+				t.Fatalf("verify failed: %v (VM nondeterministic?)", err)
+			}
+		})
+	}
+}
+
+func TestVerifyDetectsDifferentROM(t *testing.T) {
+	c := bootGame(t, "pong")
+	rec := NewRecorder("pong", c, 60)
+	for f := 0; f < 120; f++ {
+		c.StepFrame(uint16(f))
+		rec.OnFrame(uint16(f))
+	}
+	log := rec.Log()
+	if err := log.Verify(bootGame(t, "tanks")); err == nil {
+		t.Fatal("replaying a pong log on tanks verified successfully")
+	}
+}
+
+func TestVerifyDetectsTamperedInputs(t *testing.T) {
+	c := bootGame(t, "duel")
+	rec := NewRecorder("duel", c, 30)
+	rng := rand.New(rand.NewSource(3))
+	for f := 0; f < 200; f++ {
+		in := uint16(rng.Intn(0x10000))
+		c.StepFrame(in)
+		rec.OnFrame(in)
+	}
+	log := rec.Log()
+	log.Inputs[50] ^= 0x0010 // flip a button mid-recording
+	if err := log.Verify(bootGame(t, "duel")); err == nil {
+		t.Fatal("tampered input sequence verified successfully")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	l := &Log{
+		Game:            "pong",
+		CheckpointEvery: 60,
+		Inputs:          []uint16{1, 2, 3, 0xFFFF},
+		Checkpoints:     []uint64{0xDEADBEEF},
+		Final:           0xCAFEBABE12345678,
+	}
+	got, err := Decode(l.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Game != l.Game || got.CheckpointEvery != l.CheckpointEvery || got.Final != l.Final {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if len(got.Inputs) != 4 || got.Inputs[3] != 0xFFFF {
+		t.Fatalf("inputs: %v", got.Inputs)
+	}
+	if len(got.Checkpoints) != 1 || got.Checkpoints[0] != 0xDEADBEEF {
+		t.Fatalf("checkpoints: %v", got.Checkpoints)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	l := &Log{Game: "g", CheckpointEvery: 1, Inputs: []uint16{7}, Checkpoints: []uint64{9}, Final: 9}
+	data := l.Encode()
+	if _, err := Decode(data[:6]); err == nil {
+		t.Error("truncated log accepted")
+	}
+	bad := append([]byte{}, data...)
+	bad[0] = 'X'
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	flip := append([]byte{}, data...)
+	flip[10] ^= 0xFF
+	if _, err := Decode(flip); err == nil {
+		t.Error("corrupted body accepted")
+	}
+	ver := append([]byte{}, data...)
+	ver[4] = 0xEE
+	if _, err := Decode(ver); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestPropertyEncodeDecode(t *testing.T) {
+	f := func(game string, inputs []uint16, cps []uint64, final uint64) bool {
+		if len(game) > 1000 {
+			game = game[:1000]
+		}
+		l := &Log{Game: game, CheckpointEvery: 60, Inputs: inputs, Checkpoints: cps, Final: final}
+		got, err := Decode(l.Encode())
+		if err != nil {
+			return false
+		}
+		if got.Game != game || got.Final != final || len(got.Inputs) != len(inputs) || len(got.Checkpoints) != len(cps) {
+			return false
+		}
+		for i := range inputs {
+			if got.Inputs[i] != inputs[i] {
+				return false
+			}
+		}
+		for i := range cps {
+			if got.Checkpoints[i] != cps[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyLogVerifiesTrivially(t *testing.T) {
+	l := &Log{Game: "pong", CheckpointEvery: 60}
+	if err := l.Verify(bootGame(t, "pong")); err != nil {
+		t.Fatalf("empty log failed verify: %v", err)
+	}
+}

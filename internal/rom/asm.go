@@ -1,0 +1,770 @@
+package rom
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"retrolock/internal/vm"
+)
+
+// Assembler for the RK-32 instruction set.
+//
+// Source syntax, one statement per line:
+//
+//	; comment                       everything after ';' is ignored
+//	label:                          define a symbol at the current address
+//	.equ NAME, expr                 define a constant (no forward refs)
+//	.org expr                       move the location counter forward
+//	.align expr                     pad with zeros to a multiple of expr
+//	.byte e, e, ...                 emit bytes
+//	.half e, ...                    emit 16-bit little-endian values
+//	.word e, ...                    emit 32-bit little-endian values
+//	.space expr [, fill]            emit expr fill bytes (default 0)
+//	.ascii "text"                   emit the UTF-8 bytes of text
+//	mnemonic operands               one CPU instruction (4 bytes)
+//	li rd, expr                     pseudo-instruction: movi+movhi (8 bytes)
+//
+// Operands: registers r0-r15 (sp = r15); memory operands [rN+expr],
+// [rN-expr], [rN] or [expr] (implicit r0 base); integer expressions with
+// + - * / ( ), decimal/hex (0x)/char ('A') literals, labels and .equ names.
+//
+// The assembler is two-pass: pass one sizes statements and collects labels,
+// pass two evaluates operand expressions (forward label references are fine
+// anywhere except in .equ/.org/.align/.space sizes) and emits code.
+
+// Assembly is the output of Assemble.
+type Assembly struct {
+	// Code is the flat image, origin 0 (gaps from .org are zero-filled).
+	Code []byte
+	// Symbols maps every label and .equ constant to its value.
+	Symbols map[string]int64
+}
+
+// Entry returns the address of the conventional "start" label, or 0.
+func (a *Assembly) Entry() uint16 {
+	if v, ok := a.Symbols["start"]; ok {
+		return uint16(v)
+	}
+	return 0
+}
+
+// Assemble translates source text into an RK-32 code image.
+func Assemble(src string) (*Assembly, error) {
+	asm := &assembler{
+		symbols:   make(map[string]int64),
+		mnemonics: vm.Mnemonics(),
+	}
+	lines := strings.Split(src, "\n")
+
+	// Pass 1: addresses.
+	if err := asm.scan(lines, false); err != nil {
+		return nil, err
+	}
+	// Pass 2: emit.
+	if err := asm.scan(lines, true); err != nil {
+		return nil, err
+	}
+	return &Assembly{Code: asm.out, Symbols: asm.symbols}, nil
+}
+
+// AssembleROM assembles src and wraps it in a cartridge. The entry point is
+// the "start" label when present.
+func AssembleROM(title, src string, seed uint32) (*ROM, error) {
+	a, err := Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("rom: assembling %s: %w", title, err)
+	}
+	return &ROM{Title: title, Entry: a.Entry(), Seed: seed, Code: a.Code}, nil
+}
+
+type assembler struct {
+	symbols   map[string]int64
+	mnemonics map[string]byte
+	pc        int64
+	out       []byte
+	emitting  bool
+	line      int
+}
+
+func (a *assembler) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("asm: line %d: %s", a.line, fmt.Sprintf(format, args...))
+}
+
+func (a *assembler) scan(lines []string, emit bool) error {
+	a.pc = 0
+	a.emitting = emit
+	if emit {
+		a.out = a.out[:0]
+	}
+	for i, raw := range lines {
+		a.line = i + 1
+		if err := a.statement(raw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *assembler) statement(raw string) error {
+	line := raw
+	if idx := strings.IndexByte(line, ';'); idx >= 0 {
+		line = line[:idx]
+	}
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil
+	}
+
+	// Label prefix (may be alone on the line).
+	if idx := strings.IndexByte(line, ':'); idx >= 0 && isSymbol(strings.TrimSpace(line[:idx])) {
+		name := strings.TrimSpace(line[:idx])
+		if !a.emitting {
+			if _, dup := a.symbols[name]; dup {
+				return a.errf("duplicate symbol %q", name)
+			}
+			a.symbols[name] = a.pc
+		}
+		line = strings.TrimSpace(line[idx+1:])
+		if line == "" {
+			return nil
+		}
+	}
+
+	op, rest, _ := strings.Cut(line, " ")
+	op = strings.ToLower(strings.TrimSpace(op))
+	rest = strings.TrimSpace(rest)
+
+	if strings.HasPrefix(op, ".") {
+		return a.directive(op, rest)
+	}
+	if op == "li" {
+		return a.pseudoLI(rest)
+	}
+	return a.instruction(op, rest)
+}
+
+func (a *assembler) directive(op, rest string) error {
+	switch op {
+	case ".equ":
+		name, exprStr, ok := strings.Cut(rest, ",")
+		name = strings.TrimSpace(name)
+		if !ok || !isSymbol(name) {
+			return a.errf(".equ needs: NAME, expr")
+		}
+		v, err := a.eval(strings.TrimSpace(exprStr))
+		if err != nil {
+			return err
+		}
+		if !a.emitting {
+			if _, dup := a.symbols[name]; dup {
+				return a.errf("duplicate symbol %q", name)
+			}
+			a.symbols[name] = v
+		}
+		return nil
+
+	case ".org":
+		v, err := a.eval(rest)
+		if err != nil {
+			return err
+		}
+		if v < a.pc {
+			return a.errf(".org 0x%X moves backward from 0x%X", v, a.pc)
+		}
+		a.pad(v - a.pc)
+		a.pc = v
+		return nil
+
+	case ".align":
+		v, err := a.eval(rest)
+		if err != nil {
+			return err
+		}
+		if v <= 0 {
+			return a.errf(".align needs a positive value")
+		}
+		n := (v - a.pc%v) % v
+		a.pad(n)
+		a.pc += n
+		return nil
+
+	case ".byte", ".half", ".word":
+		width := map[string]int64{".byte": 1, ".half": 2, ".word": 4}[op]
+		parts := splitOperands(rest)
+		if len(parts) == 0 {
+			return a.errf("%s needs at least one value", op)
+		}
+		for _, p := range parts {
+			v, err := a.evalPass2(p)
+			if err != nil {
+				return err
+			}
+			if a.emitting {
+				for b := int64(0); b < width; b++ {
+					a.out = append(a.out, byte(v>>(8*b)))
+				}
+			}
+			a.pc += width
+		}
+		return nil
+
+	case ".space":
+		parts := splitOperands(rest)
+		if len(parts) == 0 || len(parts) > 2 {
+			return a.errf(".space needs: size [, fill]")
+		}
+		n, err := a.eval(parts[0])
+		if err != nil {
+			return err
+		}
+		if n < 0 {
+			return a.errf(".space size is negative")
+		}
+		fill := int64(0)
+		if len(parts) == 2 {
+			if fill, err = a.eval(parts[1]); err != nil {
+				return err
+			}
+		}
+		if a.emitting {
+			for i := int64(0); i < n; i++ {
+				a.out = append(a.out, byte(fill))
+			}
+		}
+		a.pc += n
+		return nil
+
+	case ".ascii":
+		s, err := strconv.Unquote(rest)
+		if err != nil {
+			return a.errf(".ascii needs a quoted string: %v", err)
+		}
+		if a.emitting {
+			a.out = append(a.out, s...)
+		}
+		a.pc += int64(len(s))
+		return nil
+
+	default:
+		return a.errf("unknown directive %s", op)
+	}
+}
+
+func (a *assembler) pad(n int64) {
+	if !a.emitting {
+		return
+	}
+	for i := int64(0); i < n; i++ {
+		a.out = append(a.out, 0)
+	}
+}
+
+// pseudoLI expands "li rd, expr" into movi (+ movhi when the value does not
+// fit in a sign-extended 16-bit immediate). It always occupies 8 bytes so
+// both passes agree on layout.
+func (a *assembler) pseudoLI(rest string) error {
+	parts := splitOperands(rest)
+	if len(parts) != 2 {
+		return a.errf("li needs: rd, expr")
+	}
+	rd, err := a.reg(parts[0])
+	if err != nil {
+		return err
+	}
+	v, err := a.evalPass2(parts[1])
+	if err != nil {
+		return err
+	}
+	lo := uint16(v)
+	hi := uint16(uint32(v) >> 16)
+	a.emit(vm.Instr{Op: vm.OpMOVI, Rd: rd, Imm: lo})
+	if int64(int16(lo)) == v {
+		// Sign extension already yields the full value; keep the slot
+		// with a nop so li is fixed-size.
+		a.emit(vm.Instr{Op: vm.OpNOP})
+	} else {
+		a.emit(vm.Instr{Op: vm.OpMOVHI, Rd: rd, Imm: hi})
+	}
+	return nil
+}
+
+func (a *assembler) emit(in vm.Instr) {
+	if a.emitting {
+		e := in.Encode()
+		a.out = append(a.out, e[:]...)
+	}
+	a.pc += 4
+}
+
+func (a *assembler) instruction(op, rest string) error {
+	code, ok := a.mnemonics[op]
+	if !ok {
+		return a.errf("unknown mnemonic %q", op)
+	}
+	kind, _ := vm.OperandKindOf(code)
+	parts := splitOperands(rest)
+	in := vm.Instr{Op: code}
+
+	need := func(n int) error {
+		if len(parts) != n {
+			return a.errf("%s needs %d operand(s), got %d", op, n, len(parts))
+		}
+		return nil
+	}
+
+	var err error
+	switch kind {
+	case vm.KindNone:
+		if err = need(0); err != nil {
+			return err
+		}
+
+	case vm.KindRdImm:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Rd, err = a.reg(parts[0]); err != nil {
+			return err
+		}
+		if in.Imm, err = a.imm16(parts[1]); err != nil {
+			return err
+		}
+
+	case vm.KindRdRa:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Rd, err = a.reg(parts[0]); err != nil {
+			return err
+		}
+		if in.Ra, err = a.reg(parts[1]); err != nil {
+			return err
+		}
+
+	case vm.KindRRR:
+		if err = need(3); err != nil {
+			return err
+		}
+		if in.Rd, err = a.reg(parts[0]); err != nil {
+			return err
+		}
+		if in.Ra, err = a.reg(parts[1]); err != nil {
+			return err
+		}
+		var rb byte
+		if rb, err = a.reg(parts[2]); err != nil {
+			return err
+		}
+		in.Imm = uint16(rb) // low nibble carries rb
+
+	case vm.KindRRI:
+		if err = need(3); err != nil {
+			return err
+		}
+		if in.Rd, err = a.reg(parts[0]); err != nil {
+			return err
+		}
+		if in.Ra, err = a.reg(parts[1]); err != nil {
+			return err
+		}
+		if in.Imm, err = a.imm16(parts[2]); err != nil {
+			return err
+		}
+
+	case vm.KindMem:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Rd, err = a.reg(parts[0]); err != nil {
+			return err
+		}
+		var ra byte
+		var off uint16
+		if ra, off, err = a.memOperand(parts[1]); err != nil {
+			return err
+		}
+		in.Ra, in.Imm = ra, off
+
+	case vm.KindImm:
+		if err = need(1); err != nil {
+			return err
+		}
+		if in.Imm, err = a.imm16(parts[0]); err != nil {
+			return err
+		}
+
+	case vm.KindRa:
+		if err = need(1); err != nil {
+			return err
+		}
+		if in.Ra, err = a.reg(parts[0]); err != nil {
+			return err
+		}
+
+	case vm.KindRd:
+		if err = need(1); err != nil {
+			return err
+		}
+		if in.Rd, err = a.reg(parts[0]); err != nil {
+			return err
+		}
+
+	case vm.KindBranch:
+		if err = need(3); err != nil {
+			return err
+		}
+		if in.Rd, err = a.reg(parts[0]); err != nil {
+			return err
+		}
+		if in.Ra, err = a.reg(parts[1]); err != nil {
+			return err
+		}
+		if in.Imm, err = a.imm16(parts[2]); err != nil {
+			return err
+		}
+
+	case vm.KindSys:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Rd, err = a.reg(parts[0]); err != nil {
+			return err
+		}
+		if in.Imm, err = a.imm16(parts[1]); err != nil {
+			return err
+		}
+	}
+	a.emit(in)
+	return nil
+}
+
+// reg parses a register operand.
+func (a *assembler) reg(s string) (byte, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "sp" {
+		return vm.RegSP, nil
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < vm.NumRegs {
+			return byte(n), nil
+		}
+	}
+	return 0, a.errf("bad register %q", s)
+}
+
+// imm16 evaluates an expression into a 16-bit immediate (accepting the
+// signed and unsigned ranges).
+func (a *assembler) imm16(s string) (uint16, error) {
+	v, err := a.evalPass2(s)
+	if err != nil {
+		return 0, err
+	}
+	if v < -32768 || v > 65535 {
+		return 0, a.errf("value %d does not fit in 16 bits", v)
+	}
+	return uint16(v), nil
+}
+
+// memOperand parses [reg+expr], [reg-expr], [reg] or [expr].
+func (a *assembler) memOperand(s string) (byte, uint16, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, a.errf("bad memory operand %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	if inner == "" {
+		return 0, 0, a.errf("empty memory operand")
+	}
+	// Try to split "rN" or "sp" prefix followed by +/- offset.
+	if base, off, ok := splitBase(inner); ok {
+		ra, err := a.reg(base)
+		if err != nil {
+			return 0, 0, err
+		}
+		if off == "" {
+			return ra, 0, nil
+		}
+		imm, err := a.imm16(off)
+		if err != nil {
+			return 0, 0, err
+		}
+		return ra, imm, nil
+	}
+	imm, err := a.imm16(inner)
+	if err != nil {
+		return 0, 0, err
+	}
+	return 0, imm, nil
+}
+
+// splitBase detects a register base at the start of a memory operand,
+// returning the register text and the remaining offset expression (with its
+// sign folded in).
+func splitBase(s string) (base, off string, ok bool) {
+	low := strings.ToLower(s)
+	var n int
+	switch {
+	case strings.HasPrefix(low, "sp"):
+		n = 2
+	case strings.HasPrefix(low, "r"):
+		n = 1
+		for n < len(s) && s[n] >= '0' && s[n] <= '9' {
+			n++
+		}
+		if n == 1 {
+			return "", "", false
+		}
+	default:
+		return "", "", false
+	}
+	rest := strings.TrimSpace(s[n:])
+	switch {
+	case rest == "":
+		return s[:n], "", true
+	case rest[0] == '+':
+		return s[:n], strings.TrimSpace(rest[1:]), true
+	case rest[0] == '-':
+		return s[:n], "-(" + strings.TrimSpace(rest[1:]) + ")", true
+	default:
+		return "", "", false
+	}
+}
+
+// evalPass2 evaluates an expression, tolerating unresolved symbols during
+// pass one (layout does not depend on operand values).
+func (a *assembler) evalPass2(s string) (int64, error) {
+	v, err := a.eval(s)
+	if err != nil && !a.emitting {
+		return 0, nil // forward reference; resolved in pass two
+	}
+	return v, err
+}
+
+// eval evaluates an integer expression.
+func (a *assembler) eval(s string) (int64, error) {
+	p := exprParser{src: s, asm: a}
+	v, err := p.expr()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return 0, a.errf("trailing junk in expression %q", s)
+	}
+	return v, nil
+}
+
+type exprParser struct {
+	src string
+	pos int
+	asm *assembler
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) expr() (int64, error) {
+	v, err := p.term()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return v, nil
+		}
+		switch p.src[p.pos] {
+		case '+':
+			p.pos++
+			t, err := p.term()
+			if err != nil {
+				return 0, err
+			}
+			v += t
+		case '-':
+			p.pos++
+			t, err := p.term()
+			if err != nil {
+				return 0, err
+			}
+			v -= t
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) term() (int64, error) {
+	v, err := p.factor()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return v, nil
+		}
+		switch p.src[p.pos] {
+		case '*':
+			p.pos++
+			f, err := p.factor()
+			if err != nil {
+				return 0, err
+			}
+			v *= f
+		case '/':
+			p.pos++
+			f, err := p.factor()
+			if err != nil {
+				return 0, err
+			}
+			if f == 0 {
+				return 0, p.asm.errf("division by zero in expression")
+			}
+			v /= f
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) factor() (int64, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0, p.asm.errf("unexpected end of expression %q", p.src)
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '-':
+		p.pos++
+		v, err := p.factor()
+		return -v, err
+	case c == '(':
+		p.pos++
+		v, err := p.expr()
+		if err != nil {
+			return 0, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return 0, p.asm.errf("missing ')' in expression %q", p.src)
+		}
+		p.pos++
+		return v, nil
+	case c == '\'':
+		// Char literal, with minimal escapes.
+		rest := p.src[p.pos:]
+		if len(rest) >= 4 && rest[1] == '\\' && rest[3] == '\'' {
+			p.pos += 4
+			switch rest[2] {
+			case 'n':
+				return '\n', nil
+			case 't':
+				return '\t', nil
+			case '0':
+				return 0, nil
+			case '\\':
+				return '\\', nil
+			case '\'':
+				return '\'', nil
+			}
+			return 0, p.asm.errf("bad escape in char literal")
+		}
+		if len(rest) >= 3 && rest[2] == '\'' {
+			p.pos += 3
+			return int64(rest[1]), nil
+		}
+		return 0, p.asm.errf("bad char literal")
+	case c >= '0' && c <= '9':
+		start := p.pos
+		for p.pos < len(p.src) && isNumChar(p.src[p.pos]) {
+			p.pos++
+		}
+		v, err := strconv.ParseInt(p.src[start:p.pos], 0, 64)
+		if err != nil {
+			return 0, p.asm.errf("bad number %q", p.src[start:p.pos])
+		}
+		return v, nil
+	case isSymbolStart(c):
+		start := p.pos
+		for p.pos < len(p.src) && isSymbolChar(p.src[p.pos]) {
+			p.pos++
+		}
+		name := p.src[start:p.pos]
+		v, ok := p.asm.symbols[name]
+		if !ok {
+			return 0, p.asm.errf("undefined symbol %q", name)
+		}
+		return v, nil
+	default:
+		return 0, p.asm.errf("unexpected %q in expression", string(c))
+	}
+}
+
+func isNumChar(c byte) bool {
+	return c >= '0' && c <= '9' || c == 'x' || c == 'X' ||
+		c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F' || c == 'b' || c == 'B' || c == 'o' || c == 'O'
+}
+
+func isSymbolStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isSymbolChar(c byte) bool {
+	return isSymbolStart(c) || c >= '0' && c <= '9'
+}
+
+// isSymbol reports whether s is a valid label/constant name that is not a
+// register.
+func isSymbol(s string) bool {
+	if s == "" || !isSymbolStart(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isSymbolChar(s[i]) {
+			return false
+		}
+	}
+	low := strings.ToLower(s)
+	if low == "sp" {
+		return false
+	}
+	if len(low) >= 2 && low[0] == 'r' {
+		if _, err := strconv.Atoi(low[1:]); err == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// splitOperands splits a comma-separated operand list, keeping bracketed
+// groups intact.
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var parts []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[', '(':
+			depth++
+		case ']', ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, strings.TrimSpace(s[start:]))
+	return parts
+}

@@ -1,0 +1,312 @@
+package rom
+
+import (
+	"strings"
+	"testing"
+
+	"retrolock/internal/vm"
+)
+
+func mustAssemble(t *testing.T, src string) *Assembly {
+	t.Helper()
+	a, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return a
+}
+
+func decodeAt(code []byte, off int) vm.Instr {
+	return vm.Decode(code[off], code[off+1], code[off+2], code[off+3])
+}
+
+func TestAssembleBasicInstruction(t *testing.T) {
+	a := mustAssemble(t, "movi r1, 42")
+	if len(a.Code) != 4 {
+		t.Fatalf("code = %d bytes, want 4", len(a.Code))
+	}
+	in := decodeAt(a.Code, 0)
+	if in.Op != vm.OpMOVI || in.Rd != 1 || in.Imm != 42 {
+		t.Errorf("decoded %+v", in)
+	}
+}
+
+func TestAssembleAllOperandForms(t *testing.T) {
+	src := `
+start:
+	nop
+	movi r1, 0x10
+	mov r2, r1
+	add r3, r1, r2
+	addi r3, r3, -5
+	ldb r4, [r1+2]
+	stw r4, [sp-4]
+	ldw r5, [r1]
+	jmp start
+	jr r5
+	call start
+	ret
+	beq r1, r2, start
+	push r6
+	pop r7
+	rand r8
+	sys r1, 3
+	halt
+	yield
+`
+	a := mustAssemble(t, src)
+	wantOps := []byte{
+		vm.OpNOP, vm.OpMOVI, vm.OpMOV, vm.OpADD, vm.OpADDI, vm.OpLDB,
+		vm.OpSTW, vm.OpLDW, vm.OpJMP, vm.OpJR, vm.OpCALL, vm.OpRET,
+		vm.OpBEQ, vm.OpPUSH, vm.OpPOP, vm.OpRAND, vm.OpSYS, vm.OpHALT, vm.OpYIELD,
+	}
+	if len(a.Code) != len(wantOps)*4 {
+		t.Fatalf("code = %d bytes, want %d", len(a.Code), len(wantOps)*4)
+	}
+	for i, op := range wantOps {
+		if got := a.Code[i*4]; got != op {
+			t.Errorf("instr %d opcode %#x, want %#x", i, got, op)
+		}
+	}
+	// Spot-check operands.
+	sub := decodeAt(a.Code, 4*4) // addi r3, r3, -5
+	if sub.Rd != 3 || sub.Ra != 3 || sub.SImm() != -5 {
+		t.Errorf("addi decoded %+v", sub)
+	}
+	stw := decodeAt(a.Code, 6*4) // stw r4, [sp-4]
+	if stw.Rd != 4 || stw.Ra != vm.RegSP || stw.SImm() != -4 {
+		t.Errorf("stw decoded %+v", stw)
+	}
+}
+
+func TestForwardLabelReference(t *testing.T) {
+	a := mustAssemble(t, `
+	jmp done
+	nop
+done:
+	halt
+`)
+	jmp := decodeAt(a.Code, 0)
+	if jmp.Imm != 8 {
+		t.Errorf("jmp target = %d, want 8 (forward label)", jmp.Imm)
+	}
+}
+
+func TestEquAndExpressions(t *testing.T) {
+	a := mustAssemble(t, `
+.equ BASE, 0x1000
+.equ SIZE, 4*8
+	movi r1, BASE+SIZE
+	movi r2, (BASE-0x100)/2
+	movi r3, 'A'
+	movi r4, SIZE-40
+`)
+	want := []struct {
+		reg byte
+		imm int32
+	}{
+		{1, 0x1020}, {2, 0x780}, {3, 65}, {4, -8},
+	}
+	for i, w := range want {
+		in := decodeAt(a.Code, i*4)
+		if in.Rd != w.reg || in.SImm() != w.imm {
+			t.Errorf("instr %d: %+v, want rd=%d imm=%d", i, in, w.reg, w.imm)
+		}
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	a := mustAssemble(t, `
+	.byte 1, 2, 0xFF
+	.half 0x1234
+	.word 0xDEADBEEF
+	.space 3, 7
+	.ascii "hi\n"
+	.align 4
+tail:
+	nop
+`)
+	want := []byte{
+		1, 2, 0xFF,
+		0x34, 0x12,
+		0xEF, 0xBE, 0xAD, 0xDE,
+		7, 7, 7,
+		'h', 'i', '\n',
+		0, // align pad to 16
+	}
+	if len(a.Code) < len(want) {
+		t.Fatalf("code too short: %d", len(a.Code))
+	}
+	for i, b := range want {
+		if a.Code[i] != b {
+			t.Errorf("byte %d = %#x, want %#x", i, a.Code[i], b)
+		}
+	}
+	if a.Symbols["tail"] != 16 {
+		t.Errorf("tail = %d, want 16 (aligned)", a.Symbols["tail"])
+	}
+}
+
+func TestOrgPadsForward(t *testing.T) {
+	a := mustAssemble(t, `
+	nop
+.org 0x20
+here:
+	halt
+`)
+	if a.Symbols["here"] != 0x20 {
+		t.Errorf("here = %#x, want 0x20", a.Symbols["here"])
+	}
+	if len(a.Code) != 0x24 {
+		t.Errorf("code = %d bytes, want 0x24", len(a.Code))
+	}
+	if a.Code[0x20] != vm.OpHALT {
+		t.Errorf("byte at 0x20 = %#x, want HALT", a.Code[0x20])
+	}
+}
+
+func TestLIPseudoInstruction(t *testing.T) {
+	a := mustAssemble(t, `
+	li r1, 0x12345678
+	li r2, -1
+	li r3, 100
+after:
+`)
+	if a.Symbols["after"] != 24 {
+		t.Fatalf("li must be fixed 8 bytes; after = %d, want 24", a.Symbols["after"])
+	}
+	// Execute to verify semantics.
+	src := a.Code
+	c, err := vm.New(vm.Params{Code: append(src, vm.Instr{Op: vm.OpYIELD}.Encode()[0]), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StepFrame(0)
+	if c.Reg(1) != 0x12345678 {
+		t.Errorf("r1 = %#x, want 0x12345678", c.Reg(1))
+	}
+	if c.Reg(2) != 0xFFFFFFFF {
+		t.Errorf("r2 = %#x, want -1", c.Reg(2))
+	}
+	if c.Reg(3) != 100 {
+		t.Errorf("r3 = %d, want 100", c.Reg(3))
+	}
+}
+
+func TestErrorReporting(t *testing.T) {
+	cases := map[string]string{
+		"bogus r1":           "unknown mnemonic",
+		"movi r99, 1":        "bad register",
+		"movi r1, 99999":     "does not fit",
+		"movi r1":            "needs 2 operand",
+		".equ 9bad, 1":       ".equ needs",
+		".org 0x10\n.org 0":  "moves backward",
+		"movi r1, undef_sym": "undefined symbol",
+		"movi r1, (1+2":      "missing ')'",
+		"movi r1, 1+2)":      "trailing junk",
+		"dup:\ndup:":         "duplicate symbol",
+		".space -1":          "negative",
+		"ldb r1, r2":         "bad memory operand",
+		".align 0":           "positive",
+		"movi r1, 5/0":       "division by zero",
+		".ascii unquoted":    "quoted string",
+		".unknown 4":         "unknown directive",
+		"li r1":              "li needs",
+		"movi r1, 'toolong'": "bad char literal",
+	}
+	for src, wantSub := range cases {
+		_, err := Assemble(src)
+		if err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error containing %q", src, wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("Assemble(%q) error %q, want substring %q", src, err, wantSub)
+		}
+	}
+}
+
+func TestErrorsIncludeLineNumbers(t *testing.T) {
+	_, err := Assemble("nop\nnop\nbogus\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %v, want mention of line 3", err)
+	}
+}
+
+func TestROMEncodeDecodeRoundTrip(t *testing.T) {
+	r := &ROM{Title: "Test Game", Entry: 0x10, LoadAddr: 0, Seed: 0xCAFEBABE, Code: []byte{1, 2, 3, 4}}
+	img := r.Encode()
+	got, err := Decode(img)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Title != r.Title || got.Entry != r.Entry || got.Seed != r.Seed {
+		t.Errorf("decoded %+v, want %+v", got, r)
+	}
+	if len(got.Code) != 4 || got.Code[0] != 1 {
+		t.Errorf("code mismatch: %v", got.Code)
+	}
+}
+
+func TestROMDecodeRejectsCorruption(t *testing.T) {
+	r := &ROM{Title: "T", Seed: 1, Code: []byte{9, 9, 9, 9}}
+	img := r.Encode()
+
+	if _, err := Decode(img[:8]); err == nil {
+		t.Error("truncated image accepted")
+	}
+	bad := append([]byte{}, img...)
+	bad[0] = 'X'
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	flip := append([]byte{}, img...)
+	flip[len(flip)-6] ^= 0xFF // corrupt code
+	if _, err := Decode(flip); err == nil {
+		t.Error("checksum mismatch accepted")
+	}
+	ver := append([]byte{}, img...)
+	ver[4] = 99
+	if _, err := Decode(ver); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestAssembleROMBootsWithStartEntry(t *testing.T) {
+	r, err := AssembleROM("Boot Test", `
+	.org 0x10
+start:
+	movi r1, 7
+	halt
+`, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Entry != 0x10 {
+		t.Fatalf("entry = %#x, want 0x10", r.Entry)
+	}
+	c, err := r.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StepFrame(0)
+	if c.Reg(1) != 7 {
+		t.Errorf("r1 = %d, want 7 (entry not honored)", c.Reg(1))
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	a := mustAssemble(t, `
+; full line comment
+
+	nop ; trailing comment
+label: ; comment after label
+	halt
+`)
+	if len(a.Code) != 8 {
+		t.Errorf("code = %d bytes, want 8", len(a.Code))
+	}
+	if a.Symbols["label"] != 4 {
+		t.Errorf("label = %d, want 4", a.Symbols["label"])
+	}
+}

@@ -1,0 +1,395 @@
+package games
+
+// Brick Brigade: cooperative breakout. Player 0 steers the left paddle
+// (confined to the left half), player 1 the right paddle; one shared ball,
+// three shared lives. Clearing all 32 bricks wins the level; losing the
+// ball below the paddles costs a life.
+//
+// SYS debug codes:
+//
+//	1: brick destroyed (value = new score)
+//	2: life lost (value = lives remaining)
+//	3: level cleared (value = score)
+//	5: game over (value = final score)
+const breakoutSrc = `
+; ---------------------------------------------------------------
+; Brick Brigade
+; ---------------------------------------------------------------
+.equ BALLX,  0x8400
+.equ BALLY,  0x8404
+.equ VELX,   0x8408
+.equ VELY,   0x840C
+.equ P0X,    0x8410
+.equ P1X,    0x8414
+.equ SCORE,  0x8418
+.equ LIVES,  0x841C
+.equ BRICKS, 0x8420       ; 32 bytes, 1 = alive
+.equ ALIVE,  0x8440       ; remaining brick count
+.equ PING,   0x8444       ; audio trigger
+
+.equ HUD,       8         ; HUD strip height
+.equ BRICK_W,   16
+.equ BRICK_H,   5
+.equ BRICK_Y0,  16
+.equ COLS,      8
+.equ ROWS,      4
+.equ PAD_W,     14
+.equ PAD_Y,     90
+.equ PAD_SPEED, 2
+.equ BALLSZ,    2
+.equ START_LIVES, 3
+
+start:
+	call new_level
+	li   r6, LIVES
+	li   r7, START_LIVES
+	stw  r7, [r6]
+	li   r6, SCORE
+	stw  r0, [r6]
+
+main_loop:
+	call read_paddles
+	call move_ball
+	call draw
+	call do_audio
+	yield
+	jmp  main_loop
+
+; ---------------------------------------------------------------
+read_paddles:
+	; paddle 0: left/right within [2, 62-PAD_W]
+	li   r6, PAD0
+	ldb  r1, [r6]
+	li   r6, P0X
+	li   r9, 2
+	li   r10, 62-PAD_W
+	call move_paddle
+	; paddle 1: within [66, 126-PAD_W]
+	li   r6, PAD0
+	ldb  r1, [r6+1]
+	li   r6, P1X
+	li   r9, 66
+	li   r10, 126-PAD_W
+	call move_paddle
+	ret
+
+; move_paddle: r1 = pad bits, r6 = X address, r9 = min, r10 = max.
+move_paddle:
+	ldw  r7, [r6]
+	andi r8, r1, 4          ; left
+	beq  r8, r0, mp_no_left
+	addi r7, r7, -PAD_SPEED
+mp_no_left:
+	andi r8, r1, 8          ; right
+	beq  r8, r0, mp_no_right
+	addi r7, r7, PAD_SPEED
+mp_no_right:
+	bge  r7, r9, mp_min_ok
+	mov  r7, r9
+mp_min_ok:
+	bge  r10, r7, mp_max_ok
+	mov  r7, r10
+mp_max_ok:
+	stw  r7, [r6]
+	ret
+
+; ---------------------------------------------------------------
+move_ball:
+	li   r6, BALLX
+	ldw  r1, [r6]
+	li   r6, BALLY
+	ldw  r2, [r6]
+	li   r6, VELX
+	ldw  r3, [r6]
+	li   r6, VELY
+	ldw  r4, [r6]
+	add  r1, r1, r3
+	add  r2, r2, r4
+
+	; side walls
+	bge  r1, r0, mb2_no_left
+	mov  r1, r0
+	sub  r3, r0, r3
+	call ping_on
+mb2_no_left:
+	li   r7, 126
+	bge  r7, r1, mb2_no_right
+	mov  r1, r7
+	sub  r3, r0, r3
+	call ping_on
+mb2_no_right:
+	; ceiling (below the HUD)
+	li   r7, HUD
+	bge  r2, r7, mb2_no_top
+	mov  r2, r7
+	sub  r4, r0, r4
+	call ping_on
+mb2_no_top:
+
+	; brick field? (y in [BRICK_Y0, BRICK_Y0 + ROWS*7))
+	li   r7, BRICK_Y0
+	blt  r2, r7, mb2_no_brick
+	li   r7, BRICK_Y0 + 4*7
+	bge  r2, r7, mb2_no_brick
+	; column = x/16, row = (y-BRICK_Y0)/7
+	shri r8, r1, 4
+	addi r9, r2, -BRICK_Y0
+	divi r9, r9, 7
+	; only rows with bricks (rows are 5px of 7px pitch; gaps miss)
+	addi r10, r2, -BRICK_Y0
+	modi r10, r10, 7
+	li   r7, BRICK_H
+	bge  r10, r7, mb2_no_brick
+	; index = row*8 + col
+	shli r9, r9, 3
+	add  r9, r9, r8
+	li   r7, BRICKS
+	add  r7, r7, r9
+	ldb  r8, [r7]
+	beq  r8, r0, mb2_no_brick
+	; destroy the brick
+	stb  r0, [r7]
+	sub  r4, r0, r4
+	call ping_on
+	li   r6, ALIVE
+	ldw  r7, [r6]
+	addi r7, r7, -1
+	stw  r7, [r6]
+	li   r6, SCORE
+	ldw  r8, [r6]
+	addi r8, r8, 1
+	stw  r8, [r6]
+	sys  r8, 1
+	bne  r7, r0, mb2_no_brick
+	; level cleared (new_level repositions the ball; skip the store)
+	sys  r8, 3
+	call new_level
+	jmp  mb2_done
+mb2_no_brick:
+
+	; paddles (ball falling, at paddle height)
+	blt  r4, r0, mb2_no_pad           ; moving up: no paddle check
+	li   r7, PAD_Y - BALLSZ
+	blt  r2, r7, mb2_no_pad
+	li   r7, PAD_Y + 2
+	bge  r2, r7, mb2_no_pad
+	; try paddle 0 then paddle 1
+	li   r6, P0X
+	ldw  r8, [r6]
+	call pad_hit
+	bne  r11, r0, mb2_deflect
+	li   r6, P1X
+	ldw  r8, [r6]
+	call pad_hit
+	beq  r11, r0, mb2_no_pad
+mb2_deflect:
+	; bounce; steer by hit side (r12 = -1 left half, +1 right)
+	li   r2, PAD_Y - BALLSZ
+	li   r4, -1                        ; vy up
+	mov  r3, r12
+	call ping_on
+mb2_no_pad:
+
+	; lost below the paddles?
+	li   r7, 94
+	bge  r7, r2, mb2_store
+	li   r6, LIVES
+	ldw  r7, [r6]
+	addi r7, r7, -1
+	stw  r7, [r6]
+	sys  r7, 2
+	bne  r7, r0, mb2_respawn
+	; game over: report, reset everything
+	li   r6, SCORE
+	ldw  r8, [r6]
+	sys  r8, 5
+	stw  r0, [r6]
+	li   r6, LIVES
+	li   r7, START_LIVES
+	stw  r7, [r6]
+	call new_level
+	jmp  mb2_done
+mb2_respawn:
+	call reset_ball
+	jmp  mb2_done
+
+mb2_store:
+	li   r6, BALLX
+	stw  r1, [r6]
+	li   r6, BALLY
+	stw  r2, [r6]
+	li   r6, VELX
+	stw  r3, [r6]
+	li   r6, VELY
+	stw  r4, [r6]
+mb2_done:
+	ret
+
+; pad_hit: r1 = ball x, r8 = paddle x. Sets r11 = 1 on hit and r12 to the
+; deflection (-1 when the ball struck the left half, +1 right half).
+pad_hit:
+	mov  r11, r0
+	; hit if ballx + BALLSZ > padx and ballx < padx + PAD_W
+	addi r7, r1, BALLSZ
+	bge  r8, r7, ph_done          ; padx >= ballx+sz: miss
+	addi r7, r8, PAD_W
+	bge  r1, r7, ph_done          ; ballx >= padx+w: miss
+	li   r11, 1
+	; which half?
+	addi r7, r8, PAD_W/2
+	li   r12, 1
+	bge  r1, r7, ph_done
+	li   r12, -1
+ph_done:
+	ret
+
+ping_on:
+	li   r8, PING
+	li   r9, 3
+	stw  r9, [r8]
+	ret
+
+reset_ball:
+	li   r6, BALLX
+	li   r7, 63
+	stw  r7, [r6]
+	li   r6, BALLY
+	li   r7, 60
+	stw  r7, [r6]
+	rand r7
+	andi r8, r7, 1
+	li   r9, 1
+	bne  r8, r0, rb2_vx
+	li   r9, -1
+rb2_vx:
+	li   r6, VELX
+	stw  r9, [r6]
+	li   r6, VELY
+	li   r9, -1
+	stw  r9, [r6]
+	ret
+
+; ---------------------------------------------------------------
+new_level:
+	; all 32 bricks alive
+	li   r6, BRICKS
+	li   r7, 32
+nl_loop:
+	beq  r7, r0, nl_done
+	li   r8, 1
+	stb  r8, [r6]
+	addi r6, r6, 1
+	addi r7, r7, -1
+	jmp  nl_loop
+nl_done:
+	li   r6, ALIVE
+	li   r7, 32
+	stw  r7, [r6]
+	call reset_ball
+	; center the paddles
+	li   r6, P0X
+	li   r7, 24
+	stw  r7, [r6]
+	li   r6, P1X
+	li   r7, 90
+	stw  r7, [r6]
+	ret
+
+; ---------------------------------------------------------------
+draw:
+	movi r1, 0
+	call clear_screen
+
+	; bricks (color varies by row)
+	mov  r10, r0                   ; index 0..31
+dr2_bricks:
+	li   r7, 32
+	bge  r10, r7, dr2_bricks_done
+	li   r6, BRICKS
+	add  r6, r6, r10
+	ldb  r7, [r6]
+	beq  r7, r0, dr2_next
+	; x = (i%8)*16, y = BRICK_Y0 + (i/8)*7
+	andi r1, r10, 7
+	shli r1, r1, 4
+	addi r1, r1, 1
+	shri r2, r10, 3
+	muli r2, r2, 7
+	addi r2, r2, BRICK_Y0
+	li   r3, BRICK_W-2
+	li   r4, BRICK_H
+	shri r5, r10, 3
+	addi r5, r5, 2                 ; row colors 2..5
+	call fill_rect
+dr2_next:
+	addi r10, r10, 1
+	jmp  dr2_bricks
+dr2_bricks_done:
+
+	; paddles
+	li   r6, P0X
+	ldw  r1, [r6]
+	li   r2, PAD_Y
+	li   r3, PAD_W
+	li   r4, 3
+	li   r5, 14
+	call fill_rect
+	li   r6, P1X
+	ldw  r1, [r6]
+	li   r2, PAD_Y
+	li   r3, PAD_W
+	li   r4, 3
+	li   r5, 8
+	call fill_rect
+
+	; ball
+	li   r6, BALLX
+	ldw  r1, [r6]
+	li   r6, BALLY
+	ldw  r2, [r6]
+	li   r3, BALLSZ
+	li   r4, BALLSZ
+	li   r5, 7
+	call fill_rect
+
+	; HUD: score digits + life pips
+	li   r6, SCORE
+	ldw  r3, [r6]
+	li   r1, 4
+	li   r2, 1
+	li   r4, 1
+	call draw_number
+	li   r6, LIVES
+	ldw  r10, [r6]
+	li   r11, 118
+dr2_lives:
+	beq  r10, r0, dr2_lives_done
+	mov  r1, r11
+	li   r2, 2
+	li   r3, 4
+	li   r4, 3
+	li   r5, 10
+	call fill_rect
+	addi r11, r11, -6
+	addi r10, r10, -1
+	jmp  dr2_lives
+dr2_lives_done:
+	ret
+
+; ---------------------------------------------------------------
+do_audio:
+	li   r6, PING
+	ldw  r7, [r6]
+	beq  r7, r0, da5_off
+	addi r7, r7, -1
+	stw  r7, [r6]
+	li   r1, 40
+	li   r2, 160
+	call tone
+	ret
+da5_off:
+	mov  r1, r0
+	mov  r2, r0
+	call tone
+	ret
+`

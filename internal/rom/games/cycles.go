@@ -1,0 +1,357 @@
+package games
+
+// Neon Cycles: Tron-style light cycles. Each bike moves continuously and
+// leaves a solid trail; steering into any lit pixel — wall, either trail —
+// crashes the bike and gives the opponent a point. Five points win the
+// match. The playfield doubles as the collision structure: the game reads
+// VRAM to detect crashes, so rendering and game state are one.
+//
+// SYS debug codes:
+//
+//	1: player 0 scored (value = new score)
+//	2: player 1 scored (value = new score)
+//	3: player 0 won the match
+//	4: player 1 won the match
+//	7: simultaneous crash, no score (value = round number)
+const cyclesSrc = `
+; ---------------------------------------------------------------
+; Neon Cycles
+; ---------------------------------------------------------------
+; bike struct offsets
+.equ CX,    0
+.equ CY,    4
+.equ CDIR,  8         ; 0 up, 1 down, 2 left, 3 right
+.equ CSCORE, 12
+.equ CPAD,  16
+
+.equ B0,    0x8300
+.equ B1,    0x8340
+.equ FREEZE, 0x8380   ; frames to hold after a crash
+.equ ROUND,  0x8384
+.equ CRASH,  0x8388   ; audio trigger
+
+.equ TOP,    8        ; playfield starts below the HUD strip
+.equ WIN_SCORE, 5
+
+start:
+	call new_round
+
+main_loop:
+	li   r6, PAD0
+	ldb  r7, [r6]
+	li   r6, B0
+	stw  r7, [r6+CPAD]
+	li   r6, PAD0
+	ldb  r7, [r6+1]
+	li   r6, B1
+	stw  r7, [r6+CPAD]
+
+	; frozen after a crash? count down, then start the next round
+	li   r6, FREEZE
+	ldw  r7, [r6]
+	beq  r7, r0, cl_live
+	addi r7, r7, -1
+	stw  r7, [r6]
+	bne  r7, r0, cl_hud
+	call new_round
+	jmp  cl_hud
+cl_live:
+
+	; steer both bikes (reversals ignored)
+	li   r12, B0
+	call steer
+	li   r12, B1
+	call steer
+
+	; advance both heads and test the pixels in front
+	li   r12, B0
+	call probe          ; r1 = crashed?
+	mov  r10, r1
+	li   r12, B1
+	call probe
+	mov  r11, r1
+
+	; resolve
+	beq  r10, r0, cl_b0_ok
+	beq  r11, r0, cl_b1_scores_check
+	; both crashed: draw, no score
+	li   r6, ROUND
+	ldw  r7, [r6]
+	sys  r7, 7
+	call crash_freeze
+	jmp  cl_hud
+cl_b1_scores_check:
+	; only bike 0 crashed: bike 1 scores
+	li   r12, B1
+	li   r9, 2
+	call award
+	jmp  cl_hud
+cl_b0_ok:
+	beq  r11, r0, cl_move
+	; only bike 1 crashed: bike 0 scores
+	li   r12, B0
+	li   r9, 1
+	call award
+	jmp  cl_hud
+cl_move:
+	; no crash against the current field: bike 0 commits first, then
+	; bike 1 re-probes so that both bikes steering into the same pixel
+	; resolves as a crash for bike 1 instead of a pass-through.
+	li   r12, B0
+	li   r5, 14           ; blue trail
+	call advance
+	li   r12, B1
+	call probe
+	beq  r1, r0, cl_b1_go
+	li   r12, B0
+	li   r9, 1
+	call award
+	jmp  cl_hud
+cl_b1_go:
+	li   r12, B1
+	li   r5, 8            ; orange trail
+	call advance
+
+cl_hud:
+	call draw_hud
+	call do_audio
+	yield
+	jmp  main_loop
+
+; ---------------------------------------------------------------
+; steer: apply r12's pad to CDIR; reversals are ignored.
+steer:
+	ldw  r7, [r12+CPAD]
+	ldw  r8, [r12+CDIR]
+	andi r9, r7, 1
+	beq  r9, r0, st_no_up
+	li   r6, 1
+	beq  r8, r6, st_done   ; moving down: can't reverse to up
+	stw  r0, [r12+CDIR]
+	ret
+st_no_up:
+	andi r9, r7, 2
+	beq  r9, r0, st_no_down
+	bne  r8, r0, st_down_ok ; moving up: can't reverse to down
+	ret
+st_down_ok:
+	li   r6, 1
+	stw  r6, [r12+CDIR]
+	ret
+st_no_down:
+	andi r9, r7, 4
+	beq  r9, r0, st_no_left
+	li   r6, 3
+	beq  r8, r6, st_done   ; moving right: can't reverse to left
+	li   r6, 2
+	stw  r6, [r12+CDIR]
+	ret
+st_no_left:
+	andi r9, r7, 8
+	beq  r9, r0, st_done
+	li   r6, 2
+	beq  r8, r6, st_done   ; moving left: can't reverse to right
+	li   r6, 3
+	stw  r6, [r12+CDIR]
+st_done:
+	ret
+
+; probe: compute r12's next head position; r1 = 1 when the target pixel is
+; lit (crash). Leaves the new position in r2 (x) and r3 (y).
+probe:
+	ldw  r2, [r12+CX]
+	ldw  r3, [r12+CY]
+	ldw  r7, [r12+CDIR]
+	shli r8, r7, 2
+	li   r6, cdir_dx
+	add  r6, r6, r8
+	ldw  r9, [r6]
+	add  r2, r2, r9
+	li   r6, cdir_dy
+	add  r6, r6, r8
+	ldw  r9, [r6]
+	add  r3, r3, r9
+	; read the target pixel
+	shli r7, r3, 7
+	add  r7, r7, r2
+	li   r8, VRAM
+	add  r7, r7, r8
+	ldb  r1, [r7]
+	beq  r1, r0, pr_clear
+	li   r1, 1
+	ret
+pr_clear:
+	mov  r1, r0
+	ret
+
+; advance: commit the move computed by probe (r2/r3 still valid is NOT
+; guaranteed across calls, so recompute) and draw the head in color r5.
+advance:
+	call probe            ; recomputes r2/r3; target known clear
+	stw  r2, [r12+CX]
+	stw  r3, [r12+CY]
+	shli r7, r3, 7
+	add  r7, r7, r2
+	li   r8, VRAM
+	add  r7, r7, r8
+	stb  r5, [r7]
+	ret
+
+; award: r12 = surviving bike, r9 = SYS code (1 or 2).
+award:
+	ldw  r7, [r12+CSCORE]
+	addi r7, r7, 1
+	stw  r7, [r12+CSCORE]
+	li   r8, 1
+	beq  r9, r8, aw_p0
+	sys  r7, 2
+	jmp  aw_match
+aw_p0:
+	sys  r7, 1
+aw_match:
+	li   r8, WIN_SCORE
+	bne  r7, r8, aw_freeze
+	; match over (SYS codes are immediates, so branch per winner)
+	li   r6, 1
+	beq  r9, r6, aw_sys_p0
+	sys  r7, 4
+	jmp  aw_reset_scores
+aw_sys_p0:
+	sys  r7, 3
+aw_reset_scores:
+	li   r6, B0
+	stw  r0, [r6+CSCORE]
+	li   r6, B1
+	stw  r0, [r6+CSCORE]
+aw_freeze:
+	call crash_freeze
+	ret
+
+crash_freeze:
+	li   r6, FREEZE
+	li   r7, 45            ; ~0.75 s pause
+	stw  r7, [r6]
+	li   r6, CRASH
+	li   r7, 8
+	stw  r7, [r6]
+	li   r6, ROUND
+	ldw  r7, [r6]
+	addi r7, r7, 1
+	stw  r7, [r6]
+	ret
+
+; ---------------------------------------------------------------
+new_round:
+	; clear the playfield (not the HUD strip)
+	li   r1, 0
+	li   r2, TOP
+	li   r3, 128
+	li   r4, 96-TOP
+	li   r5, 0
+	call fill_rect
+	; arena border
+	li   r1, 0
+	li   r2, TOP
+	li   r3, 128
+	li   r4, 1
+	li   r5, 12
+	call fill_rect
+	li   r1, 0
+	li   r2, 95
+	li   r3, 128
+	li   r4, 1
+	li   r5, 12
+	call fill_rect
+	li   r1, 0
+	li   r2, TOP
+	li   r3, 1
+	li   r4, 96-TOP
+	li   r5, 12
+	call fill_rect
+	li   r1, 127
+	li   r2, TOP
+	li   r3, 1
+	li   r4, 96-TOP
+	li   r5, 12
+	call fill_rect
+	; spawn bikes facing each other
+	li   r6, B0
+	li   r7, 20
+	stw  r7, [r6+CX]
+	li   r7, 51
+	stw  r7, [r6+CY]
+	li   r7, 3
+	stw  r7, [r6+CDIR]
+	li   r6, B1
+	li   r7, 107
+	stw  r7, [r6+CX]
+	li   r7, 51
+	stw  r7, [r6+CY]
+	li   r7, 2
+	stw  r7, [r6+CDIR]
+	; draw the initial heads
+	li   r12, B0
+	li   r5, 14
+	call draw_head
+	li   r12, B1
+	li   r5, 8
+	call draw_head
+	ret
+
+draw_head:
+	ldw  r2, [r12+CX]
+	ldw  r3, [r12+CY]
+	shli r7, r3, 7
+	add  r7, r7, r2
+	li   r8, VRAM
+	add  r7, r7, r8
+	stb  r5, [r7]
+	ret
+
+; ---------------------------------------------------------------
+draw_hud:
+	; clear the strip, then scores as digits
+	li   r1, 0
+	li   r2, 0
+	li   r3, 128
+	li   r4, TOP
+	li   r5, 0
+	call fill_rect
+	li   r6, B0
+	ldw  r3, [r6+CSCORE]
+	li   r1, 4
+	li   r2, 1
+	li   r4, 14
+	call draw_digit
+	li   r6, B1
+	ldw  r3, [r6+CSCORE]
+	li   r1, 121
+	li   r2, 1
+	li   r4, 8
+	call draw_digit
+	ret
+
+; ---------------------------------------------------------------
+do_audio:
+	li   r6, CRASH
+	ldw  r7, [r6]
+	beq  r7, r0, da4_off
+	addi r7, r7, -1
+	stw  r7, [r6]
+	li   r1, 2
+	li   r2, 255
+	call tone
+	ret
+da4_off:
+	mov  r1, r0
+	mov  r2, r0
+	call tone
+	ret
+
+; direction vectors indexed by CDIR
+.align 4
+cdir_dx:
+	.word 0, 0, -1, 1
+cdir_dy:
+	.word -1, 1, 0, 0
+`

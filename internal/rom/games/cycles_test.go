@@ -1,0 +1,121 @@
+package games
+
+import (
+	"testing"
+
+	"retrolock/internal/vm"
+)
+
+const (
+	cyclesB0X    = 0x8300
+	cyclesB0Dir  = 0x8300 + 8
+	cyclesFreeze = 0x8380
+)
+
+func TestCyclesIdleHeadOnIsAlwaysADraw(t *testing.T) {
+	// Idle players drive straight at each other; the spawn gap is odd, so
+	// the bikes end up adjacent and both crash on the same frame — a draw
+	// (SYS 7), every round, with no score.
+	c := mustBoot(t, "cycles")
+	draws := 0
+	for f := 0; f < 800; f++ {
+		c.StepFrame(0)
+	}
+	for _, e := range c.DebugLog() {
+		switch e.Code {
+		case 7:
+			draws++
+		case 1, 2:
+			t.Fatalf("idle head-on produced a score (code %d); want symmetric draws", e.Code)
+		}
+	}
+	if draws < 2 {
+		t.Fatalf("saw %d draws in 800 idle frames, want several repeating rounds", draws)
+	}
+}
+
+func TestCyclesSuicideRunsEndTheMatch(t *testing.T) {
+	// Player 0 permanently steers up, driving into the top wall every
+	// round; player 1 collects five points and the match.
+	c := mustBoot(t, "cycles")
+	sawScore := false
+	sawMatch := false
+	for f := 0; f < 1500 && !sawMatch; f++ {
+		c.StepFrame(pads(vm.BtnUp, 0))
+		for _, e := range c.DebugLog() {
+			switch e.Code {
+			case 2:
+				sawScore = true
+			case 4:
+				sawMatch = true
+			case 1, 3:
+				t.Fatalf("player 0 scored (code %d) while driving into walls", e.Code)
+			}
+		}
+	}
+	if !sawScore {
+		t.Fatal("player 1 never scored off player 0's wall crashes")
+	}
+	if !sawMatch {
+		t.Fatal("player 1 never won the match in 1500 frames")
+	}
+}
+
+func TestCyclesSteeringAndWallCrash(t *testing.T) {
+	c := mustBoot(t, "cycles")
+	c.StepFrame(0)
+	// Steer bike 0 up: direction becomes 0 and it climbs to the border.
+	c.StepFrame(pads(vm.BtnUp, 0))
+	if got := c.Peek32(cyclesB0Dir); got != 0 {
+		t.Fatalf("bike 0 dir = %d after Up, want 0", got)
+	}
+	for f := 0; f < 60; f++ {
+		c.StepFrame(pads(vm.BtnUp, 0))
+	}
+	// The bike crashed into the top wall: player 1 scored.
+	p1Scored := false
+	for _, e := range c.DebugLog() {
+		if e.Code == 2 {
+			p1Scored = true
+		}
+	}
+	if !p1Scored {
+		t.Fatal("driving bike 0 into the wall did not score for player 1")
+	}
+	if c.Peek32(cyclesFreeze) == 0 {
+		t.Log("freeze already elapsed (acceptable)")
+	}
+}
+
+func TestCyclesReversalIgnored(t *testing.T) {
+	c := mustBoot(t, "cycles")
+	c.StepFrame(0)
+	// Bike 0 starts moving right (dir 3); pressing Left must not reverse.
+	c.StepFrame(pads(vm.BtnLeft, 0))
+	if got := c.Peek32(cyclesB0Dir); got != 3 {
+		t.Fatalf("bike 0 dir = %d after illegal reversal, want 3", got)
+	}
+	// It keeps moving right.
+	x1 := c.Peek32(cyclesB0X)
+	c.StepFrame(pads(vm.BtnLeft, 0))
+	if got := c.Peek32(cyclesB0X); got <= x1 {
+		t.Fatalf("bike 0 x went %d -> %d; reversal not ignored", x1, got)
+	}
+}
+
+func TestCyclesTrailsPersist(t *testing.T) {
+	c := mustBoot(t, "cycles")
+	for f := 0; f < 20; f++ {
+		c.StepFrame(0)
+	}
+	// Bike 0 spawned at (20,51) heading right: its trail must be lit.
+	lit := 0
+	for x := 20; x < 30; x++ {
+		if c.Pixel(x, 51) != 0 {
+			lit++
+		}
+	}
+	if lit < 8 {
+		t.Fatalf("only %d trail pixels lit behind bike 0, want >= 8", lit)
+	}
+}

@@ -1,0 +1,380 @@
+package games
+
+// Street Brawler: a two-player fighting game in the spirit of the paper's
+// Street Fighter 2 testbed. Move with Left/Right, jump with Up, punch with
+// A, block with B (blocked punches do 1 damage instead of 4). Three round
+// wins take the match.
+//
+// SYS debug codes:
+//
+//	11: player 0 was hit (value = remaining hp)
+//	12: player 1 was hit (value = remaining hp)
+//	 3: player 0 won a round (value = round wins)
+//	 4: player 1 won a round (value = round wins)
+//	 5: player 0 won the match
+//	 6: player 1 won the match
+const duelSrc = `
+; ---------------------------------------------------------------
+; Street Brawler
+; ---------------------------------------------------------------
+; fighter struct offsets
+.equ FX,     0        ; x position
+.equ FY,     4        ; y position (top of 8x20 body; ground = 60)
+.equ FVY,    8        ; vertical velocity
+.equ FHP,    12       ; hit points
+.equ FPUNCH, 16       ; punch animation frames remaining
+.equ FHIT,   20       ; hit-flash frames remaining
+.equ FPAD,   24       ; this frame's pad bits
+
+.equ P0,     0x8100
+.equ P1,     0x8140
+.equ WINS0,  0x8180
+.equ WINS1,  0x8184
+.equ THUD,   0x8188
+
+.equ GROUND,   60
+.equ MAX_HP,   40
+.equ WALK_SP,  2
+.equ PUNCH_T,  10     ; punch lasts 10 frames, connects on frame 6
+.equ REACH,    14
+.equ WIN_ROUNDS, 3
+
+start:
+	call reset_round
+
+main_loop:
+	; latch pads
+	li   r6, PAD0
+	ldb  r7, [r6]
+	li   r6, P0
+	stw  r7, [r6+FPAD]
+	li   r6, PAD0
+	ldb  r7, [r6+1]
+	li   r6, P1
+	stw  r7, [r6+FPAD]
+
+	; update fighters
+	li   r12, P0
+	li   r13, P1
+	ldw  r14, [r12+FPAD]
+	li   r11, 1
+	call fighter_update
+	li   r12, P1
+	li   r13, P0
+	ldw  r14, [r12+FPAD]
+	li   r11, -1
+	call fighter_update
+
+	; keep the fighters from crossing: p1 stays right of p0
+	li   r6, P0
+	ldw  r1, [r6+FX]
+	li   r7, P1
+	ldw  r2, [r7+FX]
+	addi r3, r1, 10
+	bge  r2, r3, ml_no_cross
+	stw  r3, [r7+FX]
+ml_no_cross:
+
+	call check_round
+	call draw
+	call do_audio
+	yield
+	jmp  main_loop
+
+; ---------------------------------------------------------------
+; fighter_update: r12 = my base, r13 = opponent base, r14 = my pad,
+; r11 = facing (+1 when I am on the left, -1 on the right).
+fighter_update:
+	; horizontal movement
+	ldw  r1, [r12+FX]
+	andi r8, r14, 4            ; left
+	beq  r8, r0, fu_no_left
+	addi r1, r1, -WALK_SP
+fu_no_left:
+	andi r8, r14, 8            ; right
+	beq  r8, r0, fu_no_right
+	addi r1, r1, WALK_SP
+fu_no_right:
+	li   r8, 2
+	bge  r1, r8, fu_clamp_lo
+	mov  r1, r8
+fu_clamp_lo:
+	li   r8, 118
+	blt  r1, r8, fu_clamp_hi
+	mov  r1, r8
+fu_clamp_hi:
+	stw  r1, [r12+FX]
+
+	; jump only from the ground
+	ldw  r2, [r12+FY]
+	li   r8, GROUND
+	bne  r2, r8, fu_no_jump
+	andi r8, r14, 1            ; up
+	beq  r8, r0, fu_no_jump
+	li   r8, -6
+	stw  r8, [r12+FVY]
+fu_no_jump:
+
+	; vertical physics
+	ldw  r3, [r12+FVY]
+	add  r2, r2, r3
+	addi r3, r3, 1
+	li   r8, GROUND
+	blt  r2, r8, fu_in_air
+	mov  r2, r8
+	mov  r3, r0
+fu_in_air:
+	stw  r2, [r12+FY]
+	stw  r3, [r12+FVY]
+
+	; hit-flash decay
+	ldw  r8, [r12+FHIT]
+	beq  r8, r0, fu_no_flash
+	addi r8, r8, -1
+	stw  r8, [r12+FHIT]
+fu_no_flash:
+
+	; punching
+	ldw  r4, [r12+FPUNCH]
+	bne  r4, r0, fu_punch_anim
+	andi r8, r14, 16           ; A starts a punch
+	beq  r8, r0, fu_done
+	li   r4, PUNCH_T
+	stw  r4, [r12+FPUNCH]
+	ret
+fu_punch_anim:
+	addi r4, r4, -1
+	stw  r4, [r12+FPUNCH]
+	li   r8, 6
+	bne  r4, r8, fu_done       ; connects exactly once, on frame 6
+
+	; in reach horizontally?
+	ldw  r1, [r12+FX]
+	ldw  r5, [r13+FX]
+	sub  r5, r5, r1
+	mul  r5, r5, r11           ; distance toward my facing
+	blt  r5, r0, fu_done
+	li   r8, REACH
+	blt  r8, r5, fu_done
+	; same height band? |myY - oppY| <= 12
+	ldw  r2, [r12+FY]
+	ldw  r6, [r13+FY]
+	sub  r6, r6, r2
+	bge  r6, r0, fu_abs_done
+	sub  r6, r0, r6
+fu_abs_done:
+	li   r8, 12
+	blt  r8, r6, fu_done
+	; blocked?
+	ldw  r7, [r13+FPAD]
+	andi r7, r7, 32            ; B blocks
+	li   r9, 4
+	beq  r7, r0, fu_damage
+	li   r9, 1
+fu_damage:
+	ldw  r7, [r13+FHP]
+	sub  r7, r7, r9
+	stw  r7, [r13+FHP]
+	li   r8, 6
+	stw  r8, [r13+FHIT]
+	li   r8, THUD
+	li   r9, 3
+	stw  r9, [r8]
+	; log the victim's remaining hp
+	li   r8, 1
+	beq  r11, r8, fu_victim_p1
+	sys  r7, 11
+	ret
+fu_victim_p1:
+	sys  r7, 12
+fu_done:
+	ret
+
+; ---------------------------------------------------------------
+check_round:
+	li   r6, P0
+	ldw  r7, [r6+FHP]
+	bge  r0, r7, cr_p1_wins    ; p0 hp <= 0
+	li   r6, P1
+	ldw  r7, [r6+FHP]
+	bge  r0, r7, cr_p0_wins
+	ret
+cr_p0_wins:
+	li   r6, WINS0
+	ldw  r7, [r6]
+	addi r7, r7, 1
+	stw  r7, [r6]
+	sys  r7, 3
+	li   r8, WIN_ROUNDS
+	bne  r7, r8, cr_reset
+	sys  r7, 5
+	li   r6, WINS0
+	stw  r0, [r6]
+	li   r6, WINS1
+	stw  r0, [r6]
+	jmp  cr_reset
+cr_p1_wins:
+	li   r6, WINS1
+	ldw  r7, [r6]
+	addi r7, r7, 1
+	stw  r7, [r6]
+	sys  r7, 4
+	li   r8, WIN_ROUNDS
+	bne  r7, r8, cr_reset
+	sys  r7, 6
+	li   r6, WINS0
+	stw  r0, [r6]
+	li   r6, WINS1
+	stw  r0, [r6]
+cr_reset:
+	call reset_round
+	ret
+
+reset_round:
+	li   r6, P0
+	li   r7, 30
+	stw  r7, [r6+FX]
+	li   r7, GROUND
+	stw  r7, [r6+FY]
+	stw  r0, [r6+FVY]
+	li   r7, MAX_HP
+	stw  r7, [r6+FHP]
+	stw  r0, [r6+FPUNCH]
+	stw  r0, [r6+FHIT]
+	li   r6, P1
+	li   r7, 90
+	stw  r7, [r6+FX]
+	li   r7, GROUND
+	stw  r7, [r6+FY]
+	stw  r0, [r6+FVY]
+	li   r7, MAX_HP
+	stw  r7, [r6+FHP]
+	stw  r0, [r6+FPUNCH]
+	stw  r0, [r6+FHIT]
+	ret
+
+; ---------------------------------------------------------------
+draw:
+	li   r1, 11                ; dark backdrop
+	call clear_screen
+	; floor
+	li   r1, 0
+	li   r2, 80
+	li   r3, 128
+	li   r4, 2
+	li   r5, 12
+	call fill_rect
+
+	; fighter 0 (light blue, flashes white when hit)
+	li   r12, P0
+	li   r5, 14
+	li   r11, 1
+	call draw_fighter
+	; fighter 1 (light red)
+	li   r12, P1
+	li   r5, 10
+	li   r11, -1
+	call draw_fighter
+
+	; hp bars: p0 from the left, p1 from the right (1 px per hp)
+	li   r6, P0
+	ldw  r3, [r6+FHP]
+	bge  r0, r3, dr_hp1
+	li   r1, 2
+	li   r2, 2
+	li   r4, 3
+	li   r5, 5
+	call fill_rect
+dr_hp1:
+	li   r6, P1
+	ldw  r3, [r6+FHP]
+	bge  r0, r3, dr_wins
+	li   r1, 126
+	sub  r1, r1, r3
+	li   r2, 2
+	li   r4, 3
+	li   r5, 5
+	call fill_rect
+
+dr_wins:
+	; round-win pips under the bars
+	li   r6, WINS0
+	ldw  r10, [r6]
+	li   r11, 2
+dr_w0:
+	beq  r10, r0, dr_w0_done
+	mov  r1, r11
+	li   r2, 7
+	li   r3, 3
+	li   r4, 2
+	li   r5, 7
+	call fill_rect
+	addi r11, r11, 5
+	addi r10, r10, -1
+	jmp  dr_w0
+dr_w0_done:
+	li   r6, WINS1
+	ldw  r10, [r6]
+	li   r11, 123
+dr_w1:
+	beq  r10, r0, dr_w1_done
+	mov  r1, r11
+	li   r2, 7
+	li   r3, 3
+	li   r4, 2
+	li   r5, 7
+	call fill_rect
+	addi r11, r11, -5
+	addi r10, r10, -1
+	jmp  dr_w1
+dr_w1_done:
+	ret
+
+; draw_fighter: r12 = base, r5 = body color, r11 = facing.
+draw_fighter:
+	ldw  r8, [r12+FHIT]
+	beq  r8, r0, df_color_done
+	li   r5, 1                 ; flash white
+df_color_done:
+	ldw  r1, [r12+FX]
+	ldw  r2, [r12+FY]
+	li   r3, 8
+	li   r4, 20
+	call fill_rect
+	; arm while punching: extends from mid-body toward the opponent
+	ldw  r8, [r12+FPUNCH]
+	beq  r8, r0, df_done
+	ldw  r1, [r12+FX]
+	ldw  r2, [r12+FY]
+	addi r2, r2, 6
+	li   r3, 8
+	li   r4, 3
+	li   r7, 1
+	bne  r11, r7, df_arm_left
+	addi r1, r1, 8             ; arm to the right
+	jmp  df_arm_draw
+df_arm_left:
+	addi r1, r1, -8
+df_arm_draw:
+	li   r5, 7
+	call fill_rect
+df_done:
+	ret
+
+; ---------------------------------------------------------------
+do_audio:
+	li   r6, THUD
+	ldw  r7, [r6]
+	beq  r7, r0, da2_off
+	addi r7, r7, -1
+	stw  r7, [r6]
+	li   r1, 6                 ; low thud
+	li   r2, 220
+	call tone
+	ret
+da2_off:
+	mov  r1, r0
+	mov  r2, r0
+	call tone
+	ret
+`

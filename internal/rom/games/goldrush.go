@@ -1,0 +1,383 @@
+package games
+
+// Gold Rush: a 60-second score attack. Gold nuggets (and the occasional
+// rock) rain from the sky at LFSR-random positions; each miner steers
+// left/right to catch gold (+1) and dodge rocks (-1). Highest score when
+// the timer runs out wins the round. The random spawn schedule exercises
+// the console's deterministic RNG harder than any other shipped game: both
+// replicas must see byte-identical rains.
+//
+// SYS debug codes:
+//
+//	1: miner 0 caught gold (value = new score)
+//	2: miner 1 caught gold (value = new score)
+//	5: miner 0 hit a rock (value = new score)
+//	6: miner 1 hit a rock (value = new score)
+//	3: miner 0 won the round (value = score)
+//	4: miner 1 won the round (value = score)
+//	7: round tied (value = shared score)
+const goldrushSrc = `
+; ---------------------------------------------------------------
+; Gold Rush
+; ---------------------------------------------------------------
+; miner struct offsets
+.equ MX,     0
+.equ MSCORE, 4
+.equ MPAD,   8
+
+.equ M0,     0x8480
+.equ M1,     0x84A0
+
+; falling object slots: 6 x 16 bytes
+.equ OBJS,   0x8500
+.equ OACT,   0        ; active flag
+.equ OX,     4
+.equ OY,     8
+.equ OTYPE,  12       ; 0 = gold, 1 = rock
+.equ NOBJS,  6
+
+.equ TIMER,  0x85C0   ; frames remaining in the round
+.equ CHIRP,  0x85C4   ; audio: gold chirp frames
+.equ THUMP,  0x85C8   ; audio: rock thump frames
+
+.equ MINER_Y,  84
+.equ MINER_W,  8
+.equ MINER_H,  8
+.equ OBJ_SZ,   4
+.equ ROUND_FRAMES, 3600
+.equ HUD,      8
+
+start:
+	call new_round
+
+main_loop:
+	; latch pads
+	li   r6, PAD0
+	ldb  r7, [r6]
+	li   r6, M0
+	stw  r7, [r6+MPAD]
+	li   r6, PAD0
+	ldb  r7, [r6+1]
+	li   r6, M1
+	stw  r7, [r6+MPAD]
+
+	li   r12, M0
+	call move_miner
+	li   r12, M1
+	call move_miner
+
+	call spawn
+	call fall_and_catch
+	call tick_timer
+	call draw
+	call do_audio
+	yield
+	jmp  main_loop
+
+; ---------------------------------------------------------------
+move_miner:
+	ldw  r1, [r12+MX]
+	ldw  r7, [r12+MPAD]
+	andi r8, r7, 4
+	beq  r8, r0, mm_no_left
+	addi r1, r1, -2
+mm_no_left:
+	andi r8, r7, 8
+	beq  r8, r0, mm_no_right
+	addi r1, r1, 2
+mm_no_right:
+	li   r8, 2
+	bge  r1, r8, mm_min_ok
+	mov  r1, r8
+mm_min_ok:
+	li   r8, 118
+	bge  r8, r1, mm_max_ok
+	mov  r1, r8
+mm_max_ok:
+	stw  r1, [r12+MX]
+	ret
+
+; ---------------------------------------------------------------
+spawn:
+	; roughly one object every 16 frames
+	rand r7
+	andi r7, r7, 15
+	bne  r7, r0, sp_done
+	; find a free slot
+	li   r6, OBJS
+	li   r9, NOBJS
+sp_scan:
+	beq  r9, r0, sp_done
+	ldw  r7, [r6+OACT]
+	beq  r7, r0, sp_found
+	addi r6, r6, 16
+	addi r9, r9, -1
+	jmp  sp_scan
+sp_found:
+	li   r7, 1
+	stw  r7, [r6+OACT]
+	rand r7
+	li   r8, 116
+	mod  r7, r7, r8
+	addi r7, r7, 2
+	stw  r7, [r6+OX]
+	li   r7, HUD+2
+	stw  r7, [r6+OY]
+	; one in four is a rock
+	rand r7
+	andi r7, r7, 3
+	beq  r7, r0, sp_rock
+	stw  r0, [r6+OTYPE]
+	ret
+sp_rock:
+	li   r7, 1
+	stw  r7, [r6+OTYPE]
+sp_done:
+	ret
+
+; ---------------------------------------------------------------
+fall_and_catch:
+	li   r10, OBJS
+	li   r11, NOBJS
+fc_loop:
+	beq  r11, r0, fc_done
+	ldw  r7, [r10+OACT]
+	beq  r7, r0, fc_next
+	ldw  r2, [r10+OY]
+	addi r2, r2, 1
+	stw  r2, [r10+OY]
+	; off the bottom?
+	li   r7, 92
+	blt  r7, r2, fc_kill
+	; at miner height?
+	li   r7, MINER_Y - OBJ_SZ
+	blt  r2, r7, fc_next
+	; test both miners
+	ldw  r1, [r10+OX]
+	li   r12, M0
+	call catch_test
+	bne  r1, r0, fc_caught_m0
+	ldw  r1, [r10+OX]
+	li   r12, M1
+	call catch_test
+	bne  r1, r0, fc_caught_m1
+	jmp  fc_next
+fc_caught_m0:
+	li   r9, 0
+	call apply_catch
+	jmp  fc_next
+fc_caught_m1:
+	li   r9, 1
+	call apply_catch
+	jmp  fc_next
+fc_kill:
+	stw  r0, [r10+OACT]
+fc_next:
+	addi r10, r10, 16
+	addi r11, r11, -1
+	jmp  fc_loop
+fc_done:
+	ret
+
+; catch_test: r1 = object x, r12 = miner base -> r1 = 1 on overlap.
+catch_test:
+	ldw  r7, [r12+MX]
+	; overlap if ox + OBJ_SZ > mx and ox < mx + MINER_W
+	addi r8, r1, OBJ_SZ
+	bge  r7, r8, ct_miss
+	addi r8, r7, MINER_W
+	bge  r1, r8, ct_miss
+	li   r1, 1
+	ret
+ct_miss:
+	mov  r1, r0
+	ret
+
+; apply_catch: r10 = object base, r9 = miner index (0/1).
+apply_catch:
+	stw  r0, [r10+OACT]
+	li   r12, M0
+	beq  r9, r0, ac_have
+	li   r12, M1
+ac_have:
+	ldw  r7, [r12+MSCORE]
+	ldw  r8, [r10+OTYPE]
+	bne  r8, r0, ac_rock
+	; gold
+	addi r7, r7, 1
+	stw  r7, [r12+MSCORE]
+	li   r8, CHIRP
+	li   r6, 4
+	stw  r6, [r8]
+	beq  r9, r0, ac_sys_g0
+	sys  r7, 2
+	ret
+ac_sys_g0:
+	sys  r7, 1
+	ret
+ac_rock:
+	; rock: -1, floored at zero
+	beq  r7, r0, ac_floor
+	addi r7, r7, -1
+ac_floor:
+	stw  r7, [r12+MSCORE]
+	li   r8, THUMP
+	li   r6, 5
+	stw  r6, [r8]
+	beq  r9, r0, ac_sys_r0
+	sys  r7, 6
+	ret
+ac_sys_r0:
+	sys  r7, 5
+	ret
+
+; ---------------------------------------------------------------
+tick_timer:
+	li   r6, TIMER
+	ldw  r7, [r6]
+	addi r7, r7, -1
+	stw  r7, [r6]
+	bne  r7, r0, tt_done
+	; round over: compare scores
+	li   r6, M0
+	ldw  r7, [r6+MSCORE]
+	li   r6, M1
+	ldw  r8, [r6+MSCORE]
+	blt  r8, r7, tt_m0_wins
+	blt  r7, r8, tt_m1_wins
+	sys  r7, 7
+	jmp  tt_reset
+tt_m0_wins:
+	sys  r7, 3
+	jmp  tt_reset
+tt_m1_wins:
+	sys  r8, 4
+tt_reset:
+	call new_round
+tt_done:
+	ret
+
+new_round:
+	li   r6, TIMER
+	li   r7, ROUND_FRAMES
+	stw  r7, [r6]
+	li   r6, M0
+	li   r7, 30
+	stw  r7, [r6+MX]
+	stw  r0, [r6+MSCORE]
+	li   r6, M1
+	li   r7, 90
+	stw  r7, [r6+MX]
+	stw  r0, [r6+MSCORE]
+	; clear object slots
+	li   r6, OBJS
+	li   r9, NOBJS
+nr_clear:
+	beq  r9, r0, nr_done
+	stw  r0, [r6+OACT]
+	addi r6, r6, 16
+	addi r9, r9, -1
+	jmp  nr_clear
+nr_done:
+	ret
+
+; ---------------------------------------------------------------
+draw:
+	movi r1, 0
+	call clear_screen
+	; ground
+	li   r1, 0
+	li   r2, 92
+	li   r3, 128
+	li   r4, 4
+	li   r5, 9
+	call fill_rect
+
+	; falling objects
+	li   r10, OBJS
+	li   r11, NOBJS
+dr3_objs:
+	beq  r11, r0, dr3_objs_done
+	ldw  r7, [r10+OACT]
+	beq  r7, r0, dr3_next
+	ldw  r1, [r10+OX]
+	ldw  r2, [r10+OY]
+	li   r3, OBJ_SZ
+	li   r4, OBJ_SZ
+	ldw  r7, [r10+OTYPE]
+	li   r5, 7                 ; gold
+	beq  r7, r0, dr3_colored
+	li   r5, 12                ; rock
+dr3_colored:
+	call fill_rect
+dr3_next:
+	addi r10, r10, 16
+	addi r11, r11, -1
+	jmp  dr3_objs
+dr3_objs_done:
+
+	; miners
+	li   r6, M0
+	ldw  r1, [r6+MX]
+	li   r2, MINER_Y
+	li   r3, MINER_W
+	li   r4, MINER_H
+	li   r5, 14
+	call fill_rect
+	li   r6, M1
+	ldw  r1, [r6+MX]
+	li   r2, MINER_Y
+	li   r3, MINER_W
+	li   r4, MINER_H
+	li   r5, 8
+	call fill_rect
+
+	; HUD: scores and the countdown in seconds
+	li   r6, M0
+	ldw  r3, [r6+MSCORE]
+	li   r1, 4
+	li   r2, 1
+	li   r4, 14
+	call draw_number
+	li   r6, M1
+	ldw  r3, [r6+MSCORE]
+	li   r1, 117
+	li   r2, 1
+	li   r4, 8
+	call draw_number
+	li   r6, TIMER
+	ldw  r3, [r6]
+	divi r3, r3, 60
+	li   r1, 60
+	li   r2, 1
+	li   r4, 1
+	call draw_number
+	ret
+
+; ---------------------------------------------------------------
+do_audio:
+	li   r6, CHIRP
+	ldw  r7, [r6]
+	beq  r7, r0, da6_thump
+	addi r7, r7, -1
+	stw  r7, [r6]
+	li   r1, 48                ; high chirp
+	li   r2, 150
+	call tone
+	ret
+da6_thump:
+	li   r6, THUMP
+	ldw  r7, [r6]
+	beq  r7, r0, da6_off
+	addi r7, r7, -1
+	stw  r7, [r6]
+	li   r1, 4                 ; low thump
+	li   r2, 220
+	call tone
+	ret
+da6_off:
+	mov  r1, r0
+	mov  r2, r0
+	call tone
+	ret
+`

@@ -1,0 +1,94 @@
+package games
+
+import (
+	"testing"
+
+	"retrolock/internal/vm"
+)
+
+const (
+	grM0X     = 0x8480
+	grM0Score = 0x8484
+	grM1Score = 0x84A4
+	grTimer   = 0x85C0
+)
+
+func TestGoldrushMinerMovesAndClamps(t *testing.T) {
+	c := mustBoot(t, "goldrush")
+	c.StepFrame(0)
+	for i := 0; i < 80; i++ {
+		c.StepFrame(pads(vm.BtnLeft, 0))
+	}
+	if got := c.Peek32(grM0X); got != 2 {
+		t.Fatalf("miner 0 x = %d at the left clamp, want 2", got)
+	}
+	for i := 0; i < 120; i++ {
+		c.StepFrame(pads(vm.BtnRight, 0))
+	}
+	if got := c.Peek32(grM0X); got != 118 {
+		t.Fatalf("miner 0 x = %d at the right clamp, want 118", got)
+	}
+}
+
+func TestGoldrushChasersCatchGold(t *testing.T) {
+	// A crude chaser bot per miner: steer toward the lowest active
+	// object. Over a minute they must catch something.
+	c := mustBoot(t, "goldrush")
+	lowestObjX := func() (int32, bool) {
+		bestY := int32(-1)
+		bestX := int32(-1)
+		for i := 0; i < 6; i++ {
+			base := uint16(0x8500 + 16*i)
+			if c.Peek32(base) == 0 {
+				continue
+			}
+			y := int32(c.Peek32(base + 8))
+			if y > bestY {
+				bestY = y
+				bestX = int32(c.Peek32(base + 4))
+			}
+		}
+		return bestX, bestX >= 0
+	}
+	for f := 0; f < 3000; f++ {
+		var pad0 byte
+		if x, ok := lowestObjX(); ok {
+			m := int32(c.Peek32(grM0X))
+			if x < m+2 {
+				pad0 = vm.BtnLeft
+			} else {
+				pad0 = vm.BtnRight
+			}
+		}
+		c.StepFrame(pads(pad0, 0))
+		for _, e := range c.DebugLog() {
+			if e.Code == 1 && e.Value >= 1 {
+				return // miner 0 caught gold
+			}
+		}
+	}
+	t.Fatal("chaser bot never caught gold in 50 seconds")
+}
+
+func TestGoldrushRoundEndsAndResets(t *testing.T) {
+	c := mustBoot(t, "goldrush")
+	sawEnd := false
+	for f := 0; f < 4000 && !sawEnd; f++ {
+		c.StepFrame(0)
+		for _, e := range c.DebugLog() {
+			if e.Code == 3 || e.Code == 4 || e.Code == 7 {
+				sawEnd = true
+			}
+		}
+	}
+	if !sawEnd {
+		t.Fatal("no round-end event within 4000 frames (round is 3600)")
+	}
+	// The timer restarted.
+	if timer := c.Peek32(grTimer); timer == 0 || timer > 3600 {
+		t.Fatalf("timer = %d after reset, want (0, 3600]", timer)
+	}
+	if s0, s1 := c.Peek32(grM0Score), c.Peek32(grM1Score); s0 != 0 || s1 != 0 {
+		t.Fatalf("scores %d/%d after reset, want 0/0", s0, s1)
+	}
+}

@@ -1,0 +1,312 @@
+package games
+
+// Pong Duel: the classic. Player 0 owns the left paddle (Up/Down), player 1
+// the right. First to five points wins the match, which then restarts.
+//
+// SYS debug codes (observable by tests and tools, invisible to players):
+//
+//	1: player 0 scored (value = new score)
+//	2: player 1 scored (value = new score)
+//	3: player 0 won the match
+//	4: player 1 won the match
+const pongSrc = `
+; ---------------------------------------------------------------
+; Pong Duel
+; ---------------------------------------------------------------
+.equ BALLX,  0x8000
+.equ BALLY,  0x8004
+.equ VELX,   0x8008
+.equ VELY,   0x800C
+.equ P0Y,    0x8010
+.equ P1Y,    0x8014
+.equ SCORE0, 0x8018
+.equ SCORE1, 0x801C
+.equ BEEP,   0x8020
+
+.equ PADDLE_H,  16
+.equ PADDLE_SP, 2
+.equ MAXPY,     80      ; 96 - PADDLE_H
+.equ BALLSZ,    3
+.equ WIN_SCORE, 5
+
+start:
+	call reset_ball
+	li   r1, 40
+	li   r6, P0Y
+	stw  r1, [r6]
+	li   r6, P1Y
+	stw  r1, [r6]
+
+main_loop:
+	call read_input
+	call move_ball
+	call draw
+	call do_audio
+	yield
+	jmp  main_loop
+
+; ---------------------------------------------------------------
+reset_ball:
+	li   r6, BALLX
+	li   r7, 62
+	stw  r7, [r6]
+	li   r6, BALLY
+	li   r7, 46
+	stw  r7, [r6]
+	rand r7
+	andi r8, r7, 1
+	li   r9, 2
+	bne  r8, r0, rb_vx_done
+	li   r9, -2
+rb_vx_done:
+	li   r6, VELX
+	stw  r9, [r6]
+	andi r8, r7, 2
+	li   r9, 1
+	bne  r8, r0, rb_vy_done
+	li   r9, -1
+rb_vy_done:
+	li   r6, VELY
+	stw  r9, [r6]
+	ret
+
+; ---------------------------------------------------------------
+read_input:
+	li   r6, PAD0
+	ldb  r1, [r6]
+	li   r6, P0Y
+	call update_paddle
+	li   r6, PAD0
+	ldb  r1, [r6+1]
+	li   r6, P1Y
+	call update_paddle
+	ret
+
+; update_paddle: r1 = pad bits, r6 = address of paddle Y.
+update_paddle:
+	ldw  r7, [r6]
+	andi r8, r1, 1          ; BtnUp
+	beq  r8, r0, up_no_up
+	addi r7, r7, -PADDLE_SP
+	bge  r7, r0, up_no_up
+	mov  r7, r0
+up_no_up:
+	andi r8, r1, 2          ; BtnDown
+	beq  r8, r0, up_no_down
+	addi r7, r7, PADDLE_SP
+	li   r8, MAXPY
+	blt  r7, r8, up_no_down
+	mov  r7, r8
+up_no_down:
+	stw  r7, [r6]
+	ret
+
+; ---------------------------------------------------------------
+move_ball:
+	li   r6, BALLX
+	ldw  r1, [r6]
+	li   r6, BALLY
+	ldw  r2, [r6]
+	li   r6, VELX
+	ldw  r3, [r6]
+	li   r6, VELY
+	ldw  r4, [r6]
+	add  r1, r1, r3
+	add  r2, r2, r4
+
+	; bounce off the top
+	bge  r2, r0, mb_no_top
+	mov  r2, r0
+	sub  r4, r0, r4
+	call beep_on
+mb_no_top:
+	; bounce off the bottom (max y = 96 - BALLSZ = 93)
+	li   r7, 93
+	bge  r7, r2, mb_no_bot
+	mov  r2, r7
+	sub  r4, r0, r4
+	call beep_on
+mb_no_bot:
+
+	; player 1 scores when the ball exits on the left
+	bge  r1, r0, mb_no_s1
+	li   r6, SCORE1
+	ldw  r7, [r6]
+	addi r7, r7, 1
+	stw  r7, [r6]
+	sys  r7, 2
+	li   r8, WIN_SCORE
+	bne  r7, r8, mb_s1_cont
+	sys  r7, 4
+	call reset_match
+mb_s1_cont:
+	call reset_ball
+	jmp  mb_done
+mb_no_s1:
+	; player 0 scores when the ball exits on the right
+	li   r7, 125
+	bge  r7, r1, mb_no_s0
+	li   r6, SCORE0
+	ldw  r7, [r6]
+	addi r7, r7, 1
+	stw  r7, [r6]
+	sys  r7, 1
+	li   r8, WIN_SCORE
+	bne  r7, r8, mb_s0_cont
+	sys  r7, 3
+	call reset_match
+mb_s0_cont:
+	call reset_ball
+	jmp  mb_done
+mb_no_s0:
+
+	; left paddle deflects when moving left through x in [2,5]
+	bge  r3, r0, mb_no_lpad
+	li   r7, 5
+	blt  r7, r1, mb_no_lpad
+	li   r7, 2
+	blt  r1, r7, mb_no_lpad
+	li   r6, P0Y
+	ldw  r7, [r6]
+	addi r8, r2, BALLSZ
+	blt  r8, r7, mb_no_lpad
+	addi r7, r7, PADDLE_H
+	blt  r7, r2, mb_no_lpad
+	sub  r3, r0, r3
+	li   r1, 6
+	call beep_on
+mb_no_lpad:
+	; right paddle deflects when moving right through x in [120,123]
+	bge  r0, r3, mb_no_rpad
+	li   r7, 120
+	blt  r1, r7, mb_no_rpad
+	li   r7, 123
+	blt  r7, r1, mb_no_rpad
+	li   r6, P1Y
+	ldw  r7, [r6]
+	addi r8, r2, BALLSZ
+	blt  r8, r7, mb_no_rpad
+	addi r7, r7, PADDLE_H
+	blt  r7, r2, mb_no_rpad
+	sub  r3, r0, r3
+	li   r1, 119
+	call beep_on
+mb_no_rpad:
+
+	li   r6, BALLX
+	stw  r1, [r6]
+	li   r6, BALLY
+	stw  r2, [r6]
+	li   r6, VELX
+	stw  r3, [r6]
+	li   r6, VELY
+	stw  r4, [r6]
+mb_done:
+	ret
+
+reset_match:
+	li   r8, SCORE0
+	stw  r0, [r8]
+	li   r8, SCORE1
+	stw  r0, [r8]
+	ret
+
+beep_on:
+	li   r8, BEEP
+	li   r9, 4
+	stw  r9, [r8]
+	ret
+
+; ---------------------------------------------------------------
+draw:
+	movi r1, 0
+	call clear_screen
+
+	; dashed center line
+	li   r2, 4
+dr_center:
+	li   r1, 63
+	li   r3, 1
+	li   r4, 4
+	li   r5, 12
+	call fill_rect
+	addi r2, r2, 12
+	li   r7, 96
+	blt  r2, r7, dr_center
+
+	; paddles
+	li   r1, 2
+	li   r6, P0Y
+	ldw  r2, [r6]
+	li   r3, 3
+	li   r4, PADDLE_H
+	li   r5, 1
+	call fill_rect
+	li   r1, 123
+	li   r6, P1Y
+	ldw  r2, [r6]
+	li   r3, 3
+	li   r4, PADDLE_H
+	li   r5, 1
+	call fill_rect
+
+	; ball
+	li   r6, BALLX
+	ldw  r1, [r6]
+	li   r6, BALLY
+	ldw  r2, [r6]
+	li   r3, BALLSZ
+	li   r4, BALLSZ
+	li   r5, 7
+	call fill_rect
+
+	; score pips: player 0 grows from the left, player 1 from the right
+	li   r6, SCORE0
+	ldw  r10, [r6]
+	li   r11, 4
+dr_s0:
+	beq  r10, r0, dr_s0_done
+	mov  r1, r11
+	li   r2, 2
+	li   r3, 4
+	li   r4, 3
+	li   r5, 5
+	call fill_rect
+	addi r11, r11, 6
+	addi r10, r10, -1
+	jmp  dr_s0
+dr_s0_done:
+	li   r6, SCORE1
+	ldw  r10, [r6]
+	li   r11, 120
+dr_s1:
+	beq  r10, r0, dr_s1_done
+	mov  r1, r11
+	li   r2, 2
+	li   r3, 4
+	li   r4, 3
+	li   r5, 10
+	call fill_rect
+	addi r11, r11, -6
+	addi r10, r10, -1
+	jmp  dr_s1
+dr_s1_done:
+	ret
+
+; ---------------------------------------------------------------
+do_audio:
+	li   r6, BEEP
+	ldw  r7, [r6]
+	beq  r7, r0, da_off
+	addi r7, r7, -1
+	stw  r7, [r6]
+	li   r1, 36
+	li   r2, 180
+	call tone
+	ret
+da_off:
+	mov  r1, r0
+	mov  r2, r0
+	call tone
+	ret
+`

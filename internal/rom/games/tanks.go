@@ -1,0 +1,444 @@
+package games
+
+// Tank Battle: two tanks in a walled arena. Steer with the d-pad (the tank
+// faces the way it moves), fire with A (one shell in flight per tank).
+// Shells stop at walls; hitting the other tank scores a point and resets
+// positions. Five points win the match.
+//
+// SYS debug codes:
+//
+//	1: player 0 scored (value = new score)
+//	2: player 1 scored (value = new score)
+//	3: player 0 won the match
+//	4: player 1 won the match
+const tanksSrc = `
+; ---------------------------------------------------------------
+; Tank Battle
+; ---------------------------------------------------------------
+; tank struct offsets
+.equ TX,    0         ; x (top-left of 8x8 body)
+.equ TY,    4
+.equ TDIR,  8         ; 0 up, 1 down, 2 left, 3 right
+.equ TSCORE, 12
+.equ TBACT, 16        ; shell active flag
+.equ TBX,   20
+.equ TBY,   24
+.equ TBDX,  28
+.equ TBDY,  32
+.equ TPAD,  36
+
+.equ T0,    0x8200
+.equ T1,    0x8240
+.equ BOOM,  0x8280
+
+.equ TANK_SZ,  8
+.equ SHELL_SZ, 2
+.equ SHELL_SP, 3
+.equ WIN_SCORE, 5
+
+start:
+	call reset_field
+	li   r6, T0
+	stw  r0, [r6+TSCORE]
+	li   r6, T1
+	stw  r0, [r6+TSCORE]
+
+main_loop:
+	li   r6, PAD0
+	ldb  r7, [r6]
+	li   r6, T0
+	stw  r7, [r6+TPAD]
+	li   r6, PAD0
+	ldb  r7, [r6+1]
+	li   r6, T1
+	stw  r7, [r6+TPAD]
+
+	li   r12, T0
+	li   r13, T1
+	call tank_update
+	li   r12, T1
+	li   r13, T0
+	call tank_update
+
+	li   r12, T0
+	li   r13, T1
+	call shell_update
+	li   r12, T1
+	li   r13, T0
+	call shell_update
+
+	call draw
+	call do_audio
+	yield
+	jmp  main_loop
+
+; ---------------------------------------------------------------
+; tank_update: r12 = my base, r13 = opponent base.
+tank_update:
+	ldw  r1, [r12+TX]
+	ldw  r2, [r12+TY]
+	; pick a movement direction (priority up, down, left, right)
+	ldw  r14, [r12+TPAD]
+	andi r8, r14, 1
+	bne  r8, r0, tu_up
+	andi r8, r14, 2
+	bne  r8, r0, tu_down
+	andi r8, r14, 4
+	bne  r8, r0, tu_left
+	andi r8, r14, 8
+	bne  r8, r0, tu_right
+	jmp  tu_fire
+tu_up:
+	addi r2, r2, -1
+	stw  r0, [r12+TDIR]
+	jmp  tu_try
+tu_down:
+	addi r2, r2, 1
+	li   r8, 1
+	stw  r8, [r12+TDIR]
+	jmp  tu_try
+tu_left:
+	addi r1, r1, -1
+	li   r8, 2
+	stw  r8, [r12+TDIR]
+	jmp  tu_try
+tu_right:
+	addi r1, r1, 1
+	li   r8, 3
+	stw  r8, [r12+TDIR]
+tu_try:
+	; collide with walls?
+	push r1
+	push r2
+	li   r3, TANK_SZ
+	li   r4, TANK_SZ
+	call rect_hits_walls
+	mov  r9, r1
+	pop  r2
+	pop  r1
+	bne  r9, r0, tu_fire       ; blocked: stay put
+	; collide with the other tank?
+	ldw  r5, [r13+TX]
+	ldw  r6, [r13+TY]
+	; overlap if |dx| < 8 and |dy| < 8
+	sub  r7, r5, r1
+	bge  r7, r0, tu_dx_ok
+	sub  r7, r0, r7
+tu_dx_ok:
+	li   r8, TANK_SZ
+	bge  r7, r8, tu_commit
+	sub  r7, r6, r2
+	bge  r7, r0, tu_dy_ok
+	sub  r7, r0, r7
+tu_dy_ok:
+	bge  r7, r8, tu_commit
+	jmp  tu_fire               ; would overlap the other tank: blocked
+tu_commit:
+	stw  r1, [r12+TX]
+	stw  r2, [r12+TY]
+
+tu_fire:
+	ldw  r8, [r12+TPAD]
+	andi r8, r8, 16            ; A
+	beq  r8, r0, tu_done
+	ldw  r8, [r12+TBACT]
+	bne  r8, r0, tu_done       ; one shell at a time
+	; spawn at the barrel
+	ldw  r1, [r12+TX]
+	ldw  r2, [r12+TY]
+	addi r1, r1, 3
+	addi r2, r2, 3
+	ldw  r7, [r12+TDIR]
+	li   r6, dir_dx
+	shli r8, r7, 2
+	add  r6, r6, r8
+	ldw  r3, [r6]              ; dx
+	li   r6, dir_dy
+	add  r6, r6, r8
+	ldw  r4, [r6]              ; dy
+	; step the muzzle out of the tank body
+	muli r8, r3, 6
+	add  r1, r1, r8
+	muli r8, r4, 6
+	add  r2, r2, r8
+	muli r3, r3, SHELL_SP
+	muli r4, r4, SHELL_SP
+	li   r8, 1
+	stw  r8, [r12+TBACT]
+	stw  r1, [r12+TBX]
+	stw  r2, [r12+TBY]
+	stw  r3, [r12+TBDX]
+	stw  r4, [r12+TBDY]
+tu_done:
+	ret
+
+; ---------------------------------------------------------------
+; shell_update: r12 = shooter base, r13 = target base.
+shell_update:
+	ldw  r8, [r12+TBACT]
+	beq  r8, r0, su_done
+	ldw  r1, [r12+TBX]
+	ldw  r2, [r12+TBY]
+	ldw  r3, [r12+TBDX]
+	ldw  r4, [r12+TBDY]
+	add  r1, r1, r3
+	add  r2, r2, r4
+	stw  r1, [r12+TBX]
+	stw  r2, [r12+TBY]
+	; out of the arena? (a shell fired from a wall-hugging tank can spawn
+	; outside the border walls and would otherwise fly off into memory)
+	blt  r1, r0, su_kill
+	li   r8, 125
+	blt  r8, r1, su_kill
+	blt  r2, r0, su_kill
+	li   r8, 93
+	blt  r8, r2, su_kill
+	; wall hit?
+	push r1
+	push r2
+	li   r3, SHELL_SZ
+	li   r4, SHELL_SZ
+	call rect_hits_walls
+	mov  r9, r1
+	pop  r2
+	pop  r1
+	beq  r9, r0, su_tank_check
+su_kill:
+	stw  r0, [r12+TBACT]
+	ret
+su_tank_check:
+	; target hit? overlap of shell (2x2) and tank (8x8)
+	ldw  r5, [r13+TX]
+	ldw  r6, [r13+TY]
+	add  r7, r5, r0
+	addi r7, r7, TANK_SZ       ; tx+8
+	bge  r1, r7, su_done       ; sx >= tx+8: miss
+	addi r7, r1, SHELL_SZ
+	bge  r5, r7, su_done       ; tx >= sx+2
+	addi r7, r6, TANK_SZ
+	bge  r2, r7, su_done
+	addi r7, r2, SHELL_SZ
+	bge  r6, r7, su_done
+	; hit!
+	stw  r0, [r12+TBACT]
+	ldw  r7, [r12+TSCORE]
+	addi r7, r7, 1
+	stw  r7, [r12+TSCORE]
+	li   r8, BOOM
+	li   r9, 5
+	stw  r9, [r8]
+	; which tank scored? log 1 for T0, 2 for T1
+	li   r8, T0
+	bne  r12, r8, su_t1_scored
+	sys  r7, 1
+	jmp  su_match
+su_t1_scored:
+	sys  r7, 2
+su_match:
+	li   r8, WIN_SCORE
+	bne  r7, r8, su_reset
+	li   r8, T0
+	bne  r12, r8, su_t1_match
+	sys  r7, 3
+	jmp  su_match_reset
+su_t1_match:
+	sys  r7, 4
+su_match_reset:
+	li   r6, T0
+	stw  r0, [r6+TSCORE]
+	li   r6, T1
+	stw  r0, [r6+TSCORE]
+su_reset:
+	call reset_field
+su_done:
+	ret
+
+; ---------------------------------------------------------------
+reset_field:
+	li   r6, T0
+	li   r7, 10
+	stw  r7, [r6+TX]
+	li   r7, 44
+	stw  r7, [r6+TY]
+	li   r7, 3                 ; facing right
+	stw  r7, [r6+TDIR]
+	stw  r0, [r6+TBACT]
+	li   r6, T1
+	li   r7, 110
+	stw  r7, [r6+TX]
+	li   r7, 44
+	stw  r7, [r6+TY]
+	li   r7, 2                 ; facing left
+	stw  r7, [r6+TDIR]
+	stw  r0, [r6+TBACT]
+	ret
+
+; ---------------------------------------------------------------
+; rect_hits_walls: r1=x r2=y r3=w r4=h -> r1 = 1 when overlapping any wall.
+; Clobbers r5-r9.
+rect_hits_walls:
+	li   r5, walls
+	ldw  r6, [r5]              ; count
+	addi r5, r5, 4
+rw_loop:
+	beq  r6, r0, rw_none
+	ldw  r7, [r5]              ; wx
+	ldw  r8, [r5+8]            ; ww
+	add  r8, r7, r8
+	bge  r1, r8, rw_next       ; x >= wx+ww
+	add  r8, r1, r3
+	bge  r7, r8, rw_next       ; wx >= x+w
+	ldw  r7, [r5+4]            ; wy
+	ldw  r8, [r5+12]           ; wh
+	add  r8, r7, r8
+	bge  r2, r8, rw_next       ; y >= wy+wh
+	ldw  r7, [r5+4]
+	add  r8, r2, r4
+	bge  r7, r8, rw_next       ; wy >= y+h
+	li   r1, 1
+	ret
+rw_next:
+	addi r5, r5, 16
+	addi r6, r6, -1
+	jmp  rw_loop
+rw_none:
+	mov  r1, r0
+	ret
+
+; ---------------------------------------------------------------
+draw:
+	movi r1, 0
+	call clear_screen
+
+	; walls
+	li   r10, walls
+	ldw  r11, [r10]
+	addi r10, r10, 4
+dr_walls:
+	beq  r11, r0, dr_walls_done
+	ldw  r1, [r10]
+	ldw  r2, [r10+4]
+	ldw  r3, [r10+8]
+	ldw  r4, [r10+12]
+	li   r5, 12
+	call fill_rect
+	addi r10, r10, 16
+	addi r11, r11, -1
+	jmp  dr_walls
+dr_walls_done:
+
+	li   r12, T0
+	li   r5, 5                 ; green tank
+	call draw_tank
+	li   r12, T1
+	li   r5, 8                 ; orange tank
+	call draw_tank
+
+	; score pips
+	li   r6, T0
+	ldw  r10, [r6+TSCORE]
+	li   r11, 6
+dr_ts0:
+	beq  r10, r0, dr_ts0_done
+	mov  r1, r11
+	li   r2, 3
+	li   r3, 3
+	li   r4, 2
+	li   r5, 5
+	call fill_rect
+	addi r11, r11, 5
+	addi r10, r10, -1
+	jmp  dr_ts0
+dr_ts0_done:
+	li   r6, T1
+	ldw  r10, [r6+TSCORE]
+	li   r11, 119
+dr_ts1:
+	beq  r10, r0, dr_ts1_done
+	mov  r1, r11
+	li   r2, 3
+	li   r3, 3
+	li   r4, 2
+	li   r5, 8
+	call fill_rect
+	addi r11, r11, -5
+	addi r10, r10, -1
+	jmp  dr_ts1
+dr_ts1_done:
+	ret
+
+; draw_tank: r12 = base, r5 = color. Body, barrel pixel, and shell.
+draw_tank:
+	ldw  r1, [r12+TX]
+	ldw  r2, [r12+TY]
+	li   r3, TANK_SZ
+	li   r4, TANK_SZ
+	call fill_rect
+	; barrel: 2x2 block just outside the body, toward TDIR
+	ldw  r7, [r12+TDIR]
+	shli r8, r7, 2
+	li   r6, dir_dx
+	add  r6, r6, r8
+	ldw  r9, [r6]              ; dx
+	li   r6, dir_dy
+	add  r6, r6, r8
+	ldw  r6, [r6]              ; dy
+	ldw  r1, [r12+TX]
+	ldw  r2, [r12+TY]
+	addi r1, r1, 3
+	addi r2, r2, 3
+	muli r9, r9, 5
+	add  r1, r1, r9
+	muli r6, r6, 5
+	add  r2, r2, r6
+	li   r3, 2
+	li   r4, 2
+	li   r5, 15
+	call fill_rect
+	; shell
+	ldw  r8, [r12+TBACT]
+	beq  r8, r0, dt_done
+	ldw  r1, [r12+TBX]
+	ldw  r2, [r12+TBY]
+	li   r3, SHELL_SZ
+	li   r4, SHELL_SZ
+	li   r5, 7
+	call fill_rect
+dt_done:
+	ret
+
+; ---------------------------------------------------------------
+do_audio:
+	li   r6, BOOM
+	ldw  r7, [r6]
+	beq  r7, r0, da3_off
+	addi r7, r7, -1
+	stw  r7, [r6]
+	li   r1, 3                 ; low boom
+	li   r2, 255
+	call tone
+	ret
+da3_off:
+	mov  r1, r0
+	mov  r2, r0
+	call tone
+	ret
+
+; ---------------------------------------------------------------
+.align 4
+walls:
+	.word 7                    ; count
+	.word 0,   0,   128, 2     ; top border
+	.word 0,   94,  128, 2     ; bottom border
+	.word 0,   0,   2,   96    ; left border
+	.word 126, 0,   2,   96    ; right border
+	.word 30,  20,  8,   24    ; obstacles
+	.word 90,  52,  8,   24
+	.word 56,  40,  16,  16
+
+; direction vectors indexed by TDIR (up, down, left, right)
+dir_dx:
+	.word 0, 0, -1, 1
+dir_dy:
+	.word -1, 1, 0, 0
+`

@@ -1,0 +1,116 @@
+// Package rom implements the RK-32 cartridge toolchain: the ROM container
+// format, a two-pass assembler for the console's instruction set, and (in
+// the games subpackage) the game library shipped with the system.
+//
+// In the paper's setup both players load "the same game image" into their
+// VMs (§2); the ROM image is that artifact. The header carries the LFSR
+// seed, so replicated consoles share their randomness source and stay
+// deterministic (§5).
+package rom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"retrolock/internal/vm"
+)
+
+// Container format (little endian):
+//
+//	magic    "RK32" (4 bytes)
+//	version  u16
+//	flags    u16 (reserved, zero)
+//	entry    u16
+//	loadAddr u16
+//	seed     u32
+//	titleLen u8, title bytes (UTF-8)
+//	codeLen  u32, code bytes
+//	crc      u32 — FNV-1a/32 of every preceding byte
+const (
+	Magic   = "RK32"
+	Version = 1
+)
+
+// ROM is a decoded cartridge.
+type ROM struct {
+	Title    string
+	Entry    uint16
+	LoadAddr uint16
+	Seed     uint32
+	Code     []byte
+}
+
+// Encode serializes the ROM into its container format.
+func (r *ROM) Encode() []byte {
+	buf := make([]byte, 0, 19+len(r.Title)+len(r.Code)+4)
+	buf = append(buf, Magic...)
+	buf = binary.LittleEndian.AppendUint16(buf, Version)
+	buf = binary.LittleEndian.AppendUint16(buf, 0) // flags
+	buf = binary.LittleEndian.AppendUint16(buf, r.Entry)
+	buf = binary.LittleEndian.AppendUint16(buf, r.LoadAddr)
+	buf = binary.LittleEndian.AppendUint32(buf, r.Seed)
+	buf = append(buf, byte(len(r.Title)))
+	buf = append(buf, r.Title[:min(len(r.Title), 255)]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Code)))
+	buf = append(buf, r.Code...)
+	h := fnv.New32a()
+	h.Write(buf)
+	return binary.LittleEndian.AppendUint32(buf, h.Sum32())
+}
+
+// Decode parses a container image.
+func Decode(data []byte) (*ROM, error) {
+	if len(data) < 19+4 {
+		return nil, fmt.Errorf("rom: image of %d bytes too short", len(data))
+	}
+	if string(data[:4]) != Magic {
+		return nil, fmt.Errorf("rom: bad magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != Version {
+		return nil, fmt.Errorf("rom: unsupported version %d", v)
+	}
+	body, crcBytes := data[:len(data)-4], data[len(data)-4:]
+	h := fnv.New32a()
+	h.Write(body)
+	if got, want := h.Sum32(), binary.LittleEndian.Uint32(crcBytes); got != want {
+		return nil, fmt.Errorf("rom: checksum mismatch (image corrupt): %#x != %#x", got, want)
+	}
+	r := &ROM{
+		Entry:    binary.LittleEndian.Uint16(data[8:10]),
+		LoadAddr: binary.LittleEndian.Uint16(data[10:12]),
+		Seed:     binary.LittleEndian.Uint32(data[12:16]),
+	}
+	titleLen := int(data[16])
+	off := 17
+	if off+titleLen+4 > len(body) {
+		return nil, fmt.Errorf("rom: truncated title")
+	}
+	r.Title = string(data[off : off+titleLen])
+	off += titleLen
+	codeLen := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	if off+codeLen > len(body) {
+		return nil, fmt.Errorf("rom: truncated code (%d bytes declared, %d available)", codeLen, len(body)-off)
+	}
+	r.Code = make([]byte, codeLen)
+	copy(r.Code, data[off:off+codeLen])
+	return r, nil
+}
+
+// Boot creates a console running this ROM.
+func (r *ROM) Boot() (*vm.Console, error) {
+	return vm.New(vm.Params{
+		Code:     r.Code,
+		LoadAddr: r.LoadAddr,
+		Entry:    r.Entry,
+		Seed:     r.Seed,
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,273 @@
+// Package simnet provides an in-process datagram network.
+//
+// It plays the role of the physical LAN + Netem box in the paper's testbed
+// (§4): endpoints exchange UDP-like datagrams whose delivery is shaped by a
+// pluggable per-direction Shaper (see internal/netem). Running it over a
+// virtual clock makes the paper's sixty-second experiments execute in
+// milliseconds and bit-reproducibly; running it over the real clock turns it
+// into an in-memory loopback with live traffic shaping.
+//
+// Semantics mirror UDP: datagrams may be dropped (by the shaper, or when a
+// receive queue overflows), duplicated, and reordered; they are never
+// corrupted or truncated.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"retrolock/internal/vclock"
+)
+
+// MinDelay is the smallest one-way delivery delay the network imposes even
+// when a shaper asks for less. A strictly positive floor keeps virtual-time
+// runs deterministic (same-instant actors must not communicate, see vclock)
+// and matches the paper's assumption that even a LAN round trip costs under
+// one millisecond.
+const MinDelay = 50 * time.Microsecond
+
+// DefaultQueueCap is the default receive-queue capacity of an endpoint, in
+// datagrams. It approximates an OS socket buffer: packets arriving at a full
+// queue are dropped silently, exactly like UDP.
+const DefaultQueueCap = 512
+
+// ErrClosed is returned by operations on a closed endpoint.
+var ErrClosed = errors.New("simnet: endpoint closed")
+
+// ErrNoRoute is returned when sending to an address nothing is bound to.
+var ErrNoRoute = errors.New("simnet: no such destination")
+
+// Shaper decides how a single datagram travels one direction of a link.
+type Shaper interface {
+	// Plan returns the delivery offsets, relative to the send instant, at
+	// which copies of the datagram reach the destination. An empty slice
+	// drops the packet; more than one entry duplicates it. Offsets below
+	// MinDelay are clamped up by the network.
+	Plan(now time.Time, size int) []time.Duration
+}
+
+// ConstantDelay is a Shaper that delivers every packet exactly once after a
+// fixed one-way delay.
+type ConstantDelay time.Duration
+
+// Plan implements Shaper.
+func (c ConstantDelay) Plan(time.Time, int) []time.Duration {
+	return []time.Duration{time.Duration(c)}
+}
+
+// Network is a fabric of named endpoints. All methods are safe for
+// concurrent use.
+type Network struct {
+	sched vclock.Scheduler
+
+	mu    sync.Mutex
+	nodes map[string]*Endpoint
+	links map[route]Shaper
+}
+
+type route struct{ src, dst string }
+
+// New creates a network that schedules deliveries on sched.
+func New(sched vclock.Scheduler) *Network {
+	return &Network{
+		sched: sched,
+		nodes: make(map[string]*Endpoint),
+		links: make(map[route]Shaper),
+	}
+}
+
+// Bind attaches a new endpoint to addr. Binding an address twice is an error.
+func (n *Network) Bind(addr string) (*Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[addr]; ok {
+		return nil, fmt.Errorf("simnet: address %q already bound", addr)
+	}
+	ep := &Endpoint{net: n, addr: addr, queueCap: DefaultQueueCap}
+	n.nodes[addr] = ep
+	return ep, nil
+}
+
+// MustBind is Bind for tests and examples where the address is known free.
+func (n *Network) MustBind(addr string) *Endpoint {
+	ep, err := n.Bind(addr)
+	if err != nil {
+		panic(err)
+	}
+	return ep
+}
+
+// SetLink installs shaper for packets flowing src -> dst. Passing nil
+// restores the default (MinDelay constant delay). Each direction of a
+// bidirectional link is configured independently, matching Netem's
+// per-interface shaping in the paper's testbed.
+func (n *Network) SetLink(src, dst string, shaper Shaper) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r := route{src, dst}
+	if shaper == nil {
+		delete(n.links, r)
+		return
+	}
+	n.links[r] = shaper
+}
+
+// SetLinkBoth installs the same shaper in both directions between a and b.
+// Note that stateful shapers (e.g. rate limiters) should not be shared
+// between directions; use SetLink with two instances instead.
+func (n *Network) SetLinkBoth(a, b string, shaper Shaper) {
+	n.SetLink(a, b, shaper)
+	n.SetLink(b, a, shaper)
+}
+
+func (n *Network) shaperFor(src, dst string) Shaper {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if s, ok := n.links[route{src, dst}]; ok {
+		return s
+	}
+	return ConstantDelay(MinDelay)
+}
+
+func (n *Network) lookup(addr string) (*Endpoint, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep, ok := n.nodes[addr]
+	return ep, ok
+}
+
+func (n *Network) unbind(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodes, addr)
+}
+
+// Datagram is a received packet together with its source address and the
+// instant it was delivered into the receive queue.
+type Datagram struct {
+	From    string
+	Payload []byte
+	At      time.Time
+}
+
+// Endpoint is one bound address on a Network.
+type Endpoint struct {
+	net  *Network
+	addr string
+
+	mu       sync.Mutex
+	queue    []Datagram
+	queueCap int
+	closed   bool
+
+	sent      int
+	delivered int
+	dropped   int // dropped at this endpoint's receive queue
+}
+
+// Addr returns the address the endpoint is bound to.
+func (e *Endpoint) Addr() string { return e.addr }
+
+// SetQueueCap overrides the receive-queue capacity (datagrams). Values < 1
+// are treated as 1.
+func (e *Endpoint) SetQueueCap(c int) {
+	if c < 1 {
+		c = 1
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.queueCap = c
+}
+
+// SendTo transmits payload to dst through the link's shaper. The payload is
+// copied, so the caller may reuse the buffer immediately. Packets to unknown
+// destinations return ErrNoRoute; packets dropped in flight or at the remote
+// queue are silently lost, like UDP.
+func (e *Endpoint) SendTo(dst string, payload []byte) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.sent++
+	e.mu.Unlock()
+
+	dstEp, ok := e.net.lookup(dst)
+	if !ok {
+		return ErrNoRoute
+	}
+	shaper := e.net.shaperFor(e.addr, dst)
+	now := e.net.sched.Now()
+	offsets := shaper.Plan(now, len(payload))
+	if len(offsets) == 0 {
+		return nil // shaped away: lost in flight
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	src := e.addr
+	for _, off := range offsets {
+		if off < MinDelay {
+			off = MinDelay
+		}
+		e.net.sched.ScheduleAfter(off, func() {
+			dstEp.enqueue(Datagram{From: src, Payload: cp, At: e.net.sched.Now()})
+		})
+	}
+	return nil
+}
+
+func (e *Endpoint) enqueue(d Datagram) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed || len(e.queue) >= e.queueCap {
+		e.dropped++
+		return
+	}
+	e.queue = append(e.queue, d)
+	e.delivered++
+}
+
+// TryRecv pops the oldest pending datagram without blocking. The second
+// result is false when the queue is empty. Receiving on a closed endpoint
+// still drains packets that were queued before Close.
+func (e *Endpoint) TryRecv() (Datagram, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.queue) == 0 {
+		return Datagram{}, false
+	}
+	d := e.queue[0]
+	e.queue = e.queue[1:]
+	return d, true
+}
+
+// Pending reports how many datagrams are queued for receipt.
+func (e *Endpoint) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queue)
+}
+
+// Stats reports lifetime counters: datagrams sent from this endpoint,
+// delivered into its queue, and dropped at its queue (overflow or closed).
+func (e *Endpoint) Stats() (sent, delivered, dropped int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sent, e.delivered, e.dropped
+}
+
+// Close unbinds the endpoint. In-flight packets addressed to it are dropped
+// on arrival.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.net.unbind(e.addr)
+	return nil
+}

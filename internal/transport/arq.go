@@ -1,0 +1,244 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"retrolock/internal/vclock"
+)
+
+// ARQ wire format (big endian):
+//
+//	byte 0      kind: arqData | arqAck
+//	bytes 1-4   sequence number
+//	bytes 5..   payload (arqData only)
+//
+// Acks are cumulative and carry the receiver's next expected sequence:
+// ACK(n) confirms receipt of every datagram with sequence < n.
+const (
+	arqData = byte(1)
+	arqAck  = byte(2)
+
+	arqHeaderLen = 5
+)
+
+// DefaultRTO is the initial retransmission timeout of an ARQ connection.
+// Like early TCP implementations it is fixed rather than RTT-adaptive; each
+// retransmission of the same segment doubles it up to 8x.
+const DefaultRTO = 200 * time.Millisecond
+
+// ARQConn wraps an unreliable Conn with TCP-like semantics: every datagram
+// is delivered exactly once and in order, using cumulative acks and timeout
+// retransmission. Out-of-order arrivals are buffered, which gives the
+// head-of-line blocking that makes reliable transports problematic for
+// real-time sync (§3.1): one lost segment stalls everything behind it for at
+// least one RTO.
+//
+// The connection is driven entirely by its Send/TryRecv calls (no internal
+// goroutine): each call checks the retransmission timer against the supplied
+// clock. The sync module polls TryRecv every few hundred microseconds, which
+// is more than enough drive.
+type ARQConn struct {
+	mu sync.Mutex
+
+	lower Conn
+	clock vclock.Clock
+	rto   time.Duration
+
+	// Sender state.
+	nextSeq  uint32
+	unacked  []arqSegment
+	sendErr  error
+	retrans  int
+	maxAhead int // max unacked segments before Send starts dropping (sender window)
+
+	// Receiver state.
+	expected uint32
+	ooo      map[uint32][]byte
+	ready    [][]byte
+	closed   bool
+}
+
+type arqSegment struct {
+	seq      uint32
+	payload  []byte
+	lastSent time.Time
+	rto      time.Duration
+}
+
+// DefaultSenderWindow bounds the number of in-flight unacked segments.
+const DefaultSenderWindow = 1024
+
+// NewARQ layers reliability over lower, timing retransmissions with clock.
+// A non-positive rto uses DefaultRTO.
+func NewARQ(lower Conn, clock vclock.Clock, rto time.Duration) *ARQConn {
+	if rto <= 0 {
+		rto = DefaultRTO
+	}
+	return &ARQConn{
+		lower:    lower,
+		clock:    clock,
+		rto:      rto,
+		ooo:      make(map[uint32][]byte),
+		maxAhead: DefaultSenderWindow,
+	}
+}
+
+// Send implements Conn. The datagram is queued for reliable delivery; if the
+// sender window is full the oldest unacked segment is still retained and the
+// call fails, exposing backpressure the way a full TCP send buffer would.
+func (c *ARQConn) Send(p []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if len(c.unacked) >= c.maxAhead {
+		return fmt.Errorf("transport: arq send window full (%d unacked)", len(c.unacked))
+	}
+	seq := c.nextSeq
+	c.nextSeq++
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	seg := arqSegment{seq: seq, payload: cp, lastSent: c.clock.Now(), rto: c.rto}
+	c.unacked = append(c.unacked, seg)
+	return c.transmitLocked(seg)
+}
+
+func (c *ARQConn) transmitLocked(seg arqSegment) error {
+	buf := make([]byte, arqHeaderLen+len(seg.payload))
+	buf[0] = arqData
+	binary.BigEndian.PutUint32(buf[1:5], seg.seq)
+	copy(buf[arqHeaderLen:], seg.payload)
+	return c.lower.Send(buf)
+}
+
+func (c *ARQConn) sendAckLocked() {
+	var buf [arqHeaderLen]byte
+	buf[0] = arqAck
+	binary.BigEndian.PutUint32(buf[1:5], c.expected)
+	// Best effort; a lost ack just causes a retransmission.
+	_ = c.lower.Send(buf[:])
+}
+
+// TryRecv implements Conn. It also drives ack processing and retransmission.
+func (c *ARQConn) TryRecv() ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pumpLocked()
+	if len(c.ready) == 0 {
+		return nil, false
+	}
+	p := c.ready[0]
+	c.ready = c.ready[1:]
+	return p, true
+}
+
+// pumpLocked ingests everything pending on the lower connection and
+// retransmits timed-out segments.
+func (c *ARQConn) pumpLocked() {
+	for {
+		raw, ok := c.lower.TryRecv()
+		if !ok {
+			break
+		}
+		c.handleLocked(raw)
+	}
+	now := c.clock.Now()
+	for i := range c.unacked {
+		seg := &c.unacked[i]
+		if now.Sub(seg.lastSent) >= seg.rto {
+			seg.lastSent = now
+			if seg.rto < 8*c.rto {
+				seg.rto *= 2
+			}
+			c.retrans++
+			_ = c.transmitLocked(*seg)
+		}
+	}
+}
+
+func (c *ARQConn) handleLocked(raw []byte) {
+	if len(raw) < arqHeaderLen {
+		return // runt: ignore
+	}
+	seq := binary.BigEndian.Uint32(raw[1:5])
+	switch raw[0] {
+	case arqAck:
+		// Cumulative: drop every segment with seq < next-expected.
+		keep := c.unacked[:0]
+		for _, seg := range c.unacked {
+			if seg.seq >= seq {
+				keep = append(keep, seg)
+			}
+		}
+		c.unacked = keep
+	case arqData:
+		payload := raw[arqHeaderLen:]
+		switch {
+		case seq == c.expected:
+			c.ready = append(c.ready, payload)
+			c.expected++
+			for {
+				next, ok := c.ooo[c.expected]
+				if !ok {
+					break
+				}
+				delete(c.ooo, c.expected)
+				c.ready = append(c.ready, next)
+				c.expected++
+			}
+		case seq > c.expected:
+			if _, dup := c.ooo[seq]; !dup {
+				c.ooo[seq] = payload
+			}
+		default:
+			// Duplicate of already-delivered data: re-ack only.
+		}
+		c.sendAckLocked()
+	}
+}
+
+// Flush drives retransmission/ack processing without consuming a datagram.
+// Useful for callers that send but do not receive for long stretches.
+func (c *ARQConn) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pumpLocked()
+}
+
+// Unacked reports how many segments await acknowledgement.
+func (c *ARQConn) Unacked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.unacked)
+}
+
+// Retransmissions reports the lifetime retransmission count.
+func (c *ARQConn) Retransmissions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retrans
+}
+
+// Close implements Conn.
+func (c *ARQConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.lower.Close()
+}
+
+// LocalAddr implements Conn.
+func (c *ARQConn) LocalAddr() string { return c.lower.LocalAddr() }
+
+// RemoteAddr implements Conn.
+func (c *ARQConn) RemoteAddr() string { return c.lower.RemoteAddr() }
+
+var _ Conn = (*ARQConn)(nil)

@@ -1,0 +1,47 @@
+// Package transport defines the point-to-point datagram connection used by
+// the sync module, plus implementations for every substrate the paper's
+// system runs on:
+//
+//   - Sim: an in-process connection over internal/simnet, used by the
+//     experiment harness (virtual time) and the quickstart example.
+//   - UDP: a real UDP socket with a background reader, used for live play
+//     (§2: "a UDP-based communication channel will be established").
+//   - ARQ: a reliable in-order layer over any Conn, modelling the TCP
+//     baseline the paper argues against in §3.1 ("As a reliable transport,
+//     TCP solves those problems. However, it is problematic in satisfying
+//     the real time constraint").
+//   - TCP: a real TCP stream carrying length-prefixed datagrams, the live
+//     counterpart of ARQ.
+//
+// All connections are message-oriented and connected to a single peer.
+// Receiving never blocks: the sync module's SyncInput loop polls TryRecv,
+// mirroring the paper's two-thread produce/consume design without hiding
+// timing behaviour inside the transport.
+package transport
+
+import "errors"
+
+// ErrClosed is returned by operations on a closed connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// Conn is a connected, unreliable (unless wrapped), message-preserving
+// channel to a single peer. Implementations are safe for concurrent use.
+type Conn interface {
+	// Send transmits one datagram. The buffer may be reused immediately
+	// after Send returns. Loss, duplication and reordering are permitted
+	// (the sync module implements its own reliability, §3.1).
+	Send(p []byte) error
+
+	// TryRecv pops the oldest pending datagram without blocking. ok is
+	// false when nothing is pending. The returned slice is owned by the
+	// caller.
+	TryRecv() (p []byte, ok bool)
+
+	// Close releases the connection. Further Sends fail with ErrClosed;
+	// TryRecv may drain already-received datagrams.
+	Close() error
+
+	// LocalAddr and RemoteAddr identify the two ends, for logging.
+	LocalAddr() string
+	RemoteAddr() string
+}

@@ -1,0 +1,215 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// UDPListener owns one unconnected UDP socket and demultiplexes incoming
+// datagrams by source address into per-peer Conns, so a single game port can
+// serve the opponent and any number of live spectators (the journal
+// version's observers). Outbound traffic from every derived Conn shares the
+// socket.
+type UDPListener struct {
+	sock *net.UDPConn
+
+	mu     sync.Mutex
+	conns  map[string]*UDPPeerConn
+	accept chan *UDPPeerConn
+	closed bool
+	done   chan struct{}
+}
+
+// acceptBacklog bounds how many not-yet-accepted peers may queue.
+const acceptBacklog = 16
+
+// ListenUDPAddr binds an unconnected UDP socket on localAddr.
+func ListenUDPAddr(localAddr string) (*UDPListener, error) {
+	laddr, err := net.ResolveUDPAddr("udp", localAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", localAddr, err)
+	}
+	sock, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen udp: %w", err)
+	}
+	l := &UDPListener{
+		sock:   sock,
+		conns:  make(map[string]*UDPPeerConn),
+		accept: make(chan *UDPPeerConn, acceptBacklog),
+		done:   make(chan struct{}),
+	}
+	go l.readLoop()
+	return l, nil
+}
+
+// Addr returns the bound local address.
+func (l *UDPListener) Addr() string { return l.sock.LocalAddr().String() }
+
+// Conn returns (creating if needed) the connection for a known peer
+// address. Use it for the opponent whose address is agreed upon in advance;
+// unsolicited senders surface through Accept instead.
+func (l *UDPListener) Conn(peerAddr string) (*UDPPeerConn, error) {
+	raddr, err := net.ResolveUDPAddr("udp", peerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", peerAddr, err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	key := raddr.String()
+	if c, ok := l.conns[key]; ok {
+		return c, nil
+	}
+	c := &UDPPeerConn{listener: l, peer: raddr}
+	l.conns[key] = c
+	return c, nil
+}
+
+// Accept returns the next connection initiated by an unknown sender (e.g. a
+// spectator's join request), or ok=false once the listener closes.
+func (l *UDPListener) Accept() (*UDPPeerConn, bool) {
+	c, ok := <-l.accept
+	return c, ok
+}
+
+// TryAccept is a non-blocking Accept.
+func (l *UDPListener) TryAccept() (*UDPPeerConn, bool) {
+	select {
+	case c, ok := <-l.accept:
+		return c, ok
+	default:
+		return nil, false
+	}
+}
+
+func (l *UDPListener) readLoop() {
+	defer close(l.done)
+	buf := make([]byte, maxDatagram)
+	for {
+		n, from, err := l.sock.ReadFromUDP(buf)
+		if err != nil {
+			l.mu.Lock()
+			closed := l.closed
+			l.mu.Unlock()
+			if closed {
+				return
+			}
+			continue // transient (ICMP unreachable etc.)
+		}
+		p := make([]byte, n)
+		copy(p, buf[:n])
+
+		key := from.String()
+		l.mu.Lock()
+		c, known := l.conns[key]
+		if !known && !l.closed {
+			c = &UDPPeerConn{listener: l, peer: from}
+			l.conns[key] = c
+			select {
+			case l.accept <- c:
+			default:
+				// Backlog full: drop the newcomer's state; its
+				// retransmissions will retry.
+				delete(l.conns, key)
+				c = nil
+			}
+		}
+		l.mu.Unlock()
+		if c != nil {
+			c.enqueue(p)
+		}
+	}
+}
+
+// Close shuts the socket and every derived connection.
+func (l *UDPListener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	err := l.sock.Close()
+	<-l.done
+	close(l.accept)
+	return err
+}
+
+// UDPPeerConn is one peer's view of a shared UDPListener socket.
+type UDPPeerConn struct {
+	listener *UDPListener
+	peer     *net.UDPAddr
+
+	mu     sync.Mutex
+	queue  [][]byte
+	closed bool
+}
+
+func (c *UDPPeerConn) enqueue(p []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	if len(c.queue) >= udpQueueLen {
+		c.queue = c.queue[1:]
+	}
+	c.queue = append(c.queue, p)
+}
+
+// Send implements Conn.
+func (c *UDPPeerConn) Send(p []byte) error {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	_, err := c.listener.sock.WriteToUDP(p, c.peer)
+	if err != nil {
+		return nil // transient, like a raw socket send
+	}
+	return nil
+}
+
+// TryRecv implements Conn.
+func (c *UDPPeerConn) TryRecv() ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queue) == 0 {
+		return nil, false
+	}
+	p := c.queue[0]
+	c.queue = c.queue[1:]
+	return p, true
+}
+
+// Close detaches this peer from the listener (the socket stays open for the
+// other peers).
+func (c *UDPPeerConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.queue = nil
+	c.mu.Unlock()
+	c.listener.mu.Lock()
+	delete(c.listener.conns, c.peer.String())
+	c.listener.mu.Unlock()
+	return nil
+}
+
+// LocalAddr implements Conn.
+func (c *UDPPeerConn) LocalAddr() string { return c.listener.Addr() }
+
+// RemoteAddr implements Conn.
+func (c *UDPPeerConn) RemoteAddr() string { return c.peer.String() }
+
+var _ Conn = (*UDPPeerConn)(nil)

@@ -1,0 +1,45 @@
+// Package vclock provides the clock abstraction used by every timing-
+// sensitive component in retrolock.
+//
+// The synchronization algorithms of the paper (local-lag input merging and
+// master/slave frame pacing) only ever observe time through two operations:
+// reading the current instant and sleeping until a later instant. Abstracting
+// those two operations behind the Clock interface lets the exact same
+// protocol code run either against the host clock (live play over real UDP,
+// see cmd/retroplay) or against a discrete-event virtual clock (the
+// experiment harness that regenerates the paper's figures in milliseconds of
+// wall time instead of minutes).
+package vclock
+
+import "time"
+
+// Clock is the minimal time source required by the sync module, the network
+// emulator and the experiment harness.
+//
+// Implementations must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current instant on this clock.
+	Now() time.Time
+
+	// Sleep blocks the calling goroutine for at least d. A non-positive d
+	// may still yield (virtual clocks treat it as a zero-length park so
+	// that scheduled events at the current instant can run).
+	Sleep(d time.Duration)
+}
+
+// Real is a Clock backed by the host's monotonic clock. The zero value is
+// ready to use.
+type Real struct{}
+
+// Now reports the host time.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep delegates to time.Sleep.
+func (Real) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// System is a shared ready-to-use real clock.
+var System Clock = Real{}

@@ -1,0 +1,27 @@
+package vclock
+
+import "time"
+
+// Scheduler extends Clock with the ability to run a callback after a delay.
+// The simulated network and the network emulator use it to schedule packet
+// deliveries, which makes them work identically over virtual time (in the
+// experiment harness) and real time (live shaping in cmd/retroplay).
+type Scheduler interface {
+	Clock
+
+	// ScheduleAfter runs fn once at least d has passed. A non-positive d
+	// schedules fn as soon as possible. fn runs on an unspecified
+	// goroutine and must not block.
+	ScheduleAfter(d time.Duration, fn func())
+}
+
+// ScheduleAfter implements Scheduler for the real clock using time.AfterFunc.
+func (Real) ScheduleAfter(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	time.AfterFunc(d, fn)
+}
+
+var _ Scheduler = Real{}
+var _ Scheduler = (*Virtual)(nil)

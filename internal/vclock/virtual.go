@@ -1,0 +1,233 @@
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Virtual is a discrete-event Clock. A fixed set of registered actor
+// goroutines runs against it; whenever every registered actor is parked in
+// Sleep, the clock jumps straight to the earliest pending wake-up or
+// scheduled event. Sixty seconds of simulated game play therefore cost only
+// as much wall time as the actors' own computation.
+//
+// Rules for correct use:
+//
+//   - Every goroutine that calls Sleep must be registered via AddActor (or
+//     started with Go) and must call DoneActor when it finishes.
+//   - Actors must not block on anything other than Sleep (channels, mutexes
+//     held across Sleep, ...); all cross-actor communication has to go
+//     through data structures that are polled, such as simnet queues.
+//   - Schedule callbacks run while every actor is parked, so they may freely
+//     mutate state shared with actors.
+//
+// Wake-ups at distinct instants happen in time order. Actors that wake at the
+// same instant run concurrently in unspecified relative order, so
+// deterministic simulations must not share mutable state between same-instant
+// actors except through positively-delayed events (simnet enforces a minimum
+// one-way delay for exactly this reason). Together with seeded randomness in
+// the network emulator this yields fully reproducible runs: the experiment
+// binaries print identical series on every invocation.
+type Virtual struct {
+	mu       sync.Mutex
+	now      time.Time
+	start    time.Time
+	actors   int
+	parked   int
+	sleepers sleeperQueue
+	events   eventQueue
+	seq      uint64
+}
+
+// NewVirtual returns a virtual clock whose current instant is start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start, start: start}
+}
+
+// Now returns the current virtual instant.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Elapsed returns how much virtual time has passed since the clock was
+// created.
+func (v *Virtual) Elapsed() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now.Sub(v.start)
+}
+
+// AddActor registers the calling goroutine (or one about to be started) as a
+// participant. The clock only advances while all registered actors sleep.
+func (v *Virtual) AddActor() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.actors++
+}
+
+// DoneActor deregisters an actor. It must be called exactly once per
+// AddActor, after the actor's final use of the clock.
+func (v *Virtual) DoneActor() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.actors == 0 {
+		panic("vclock: DoneActor without matching AddActor")
+	}
+	v.actors--
+	v.advanceLocked()
+}
+
+// Go runs fn on a new registered actor goroutine and returns a channel that
+// is closed when fn returns. It is the preferred way to start actors because
+// it pairs AddActor/DoneActor automatically.
+func (v *Virtual) Go(fn func()) <-chan struct{} {
+	v.AddActor()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer v.DoneActor()
+		fn()
+	}()
+	return done
+}
+
+// Sleep parks the calling actor until at least d of virtual time has passed.
+// A non-positive d parks for zero duration, which still gives events
+// scheduled at the current instant a chance to run first.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	v.mu.Lock()
+	s := &sleeper{wake: v.now.Add(d), seq: v.nextSeq(), ch: make(chan struct{})}
+	heap.Push(&v.sleepers, s)
+	v.parked++
+	v.advanceLocked()
+	v.mu.Unlock()
+	<-s.ch
+}
+
+// Schedule runs fn when the virtual clock reaches at. If at is not after the
+// current instant, fn runs at the next advance. Callbacks execute while all
+// actors are parked and may call Schedule themselves.
+func (v *Virtual) Schedule(at time.Time, fn func()) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	heap.Push(&v.events, &event{at: at, seq: v.nextSeq(), fn: fn})
+}
+
+// ScheduleAfter runs fn once d of virtual time has passed.
+func (v *Virtual) ScheduleAfter(d time.Duration, fn func()) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	heap.Push(&v.events, &event{at: v.now.Add(d), seq: v.nextSeq(), fn: fn})
+}
+
+func (v *Virtual) nextSeq() uint64 {
+	v.seq++
+	return v.seq
+}
+
+// advanceLocked moves time forward while every registered actor is parked.
+// It runs due events (unlocked) in timestamp order and stops as soon as at
+// least one sleeper has been woken.
+func (v *Virtual) advanceLocked() {
+	for v.actors > 0 && v.parked == v.actors {
+		next, ok := v.nextWakeLocked()
+		if !ok {
+			// Every actor is parked yet nothing is pending. Cannot
+			// happen: each parked actor owns a sleeper entry.
+			panic(fmt.Sprintf("vclock: %d actors parked with no pending wake-ups", v.parked))
+		}
+		if next.After(v.now) {
+			v.now = next
+		}
+		for len(v.events) > 0 && !v.events[0].at.After(v.now) {
+			e := heap.Pop(&v.events).(*event)
+			v.mu.Unlock()
+			e.fn()
+			v.mu.Lock()
+		}
+		woke := false
+		for len(v.sleepers) > 0 && !v.sleepers[0].wake.After(v.now) {
+			s := heap.Pop(&v.sleepers).(*sleeper)
+			v.parked--
+			close(s.ch)
+			woke = true
+		}
+		if woke {
+			return
+		}
+	}
+}
+
+func (v *Virtual) nextWakeLocked() (time.Time, bool) {
+	var t time.Time
+	ok := false
+	if len(v.events) > 0 {
+		t, ok = v.events[0].at, true
+	}
+	if len(v.sleepers) > 0 && (!ok || v.sleepers[0].wake.Before(t)) {
+		t, ok = v.sleepers[0].wake, true
+	}
+	return t, ok
+}
+
+type sleeper struct {
+	wake time.Time
+	seq  uint64
+	ch   chan struct{}
+}
+
+type sleeperQueue []*sleeper
+
+func (q sleeperQueue) Len() int { return len(q) }
+func (q sleeperQueue) Less(i, j int) bool {
+	if !q[i].wake.Equal(q[j].wake) {
+		return q[i].wake.Before(q[j].wake)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q sleeperQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *sleeperQueue) Push(x interface{}) { *q = append(*q, x.(*sleeper)) }
+func (q *sleeperQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}

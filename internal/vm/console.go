@@ -1,0 +1,379 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Params configures a fresh console.
+type Params struct {
+	// Code is the program image, copied into memory at LoadAddr.
+	Code []byte
+	// LoadAddr is where Code is placed. Code must fit below VRAMBase.
+	LoadAddr uint16
+	// Entry is the initial program counter.
+	Entry uint16
+	// Seed initializes the in-console LFSR behind the RAND instruction.
+	// Replicas must share the seed (it ships in the ROM header), keeping
+	// randomness deterministic across sites (§5).
+	Seed uint32
+}
+
+// DebugEvent is one SYS trap recorded by the console. The log exists for
+// tests and tooling; it is not part of the emulated machine state.
+type DebugEvent struct {
+	Frame int
+	Code  uint16
+	Value uint32
+}
+
+// maxDebugEvents bounds the SYS log so a chatty ROM cannot exhaust memory.
+const maxDebugEvents = 65536
+
+// Console is an RK-32 machine instance. It is not safe for concurrent use;
+// the frame loop owns it (§2's Algorithm 1 is single-threaded by design).
+type Console struct {
+	regs [NumRegs]uint32
+	pc   uint16
+	mem  [MemSize]byte
+
+	frame    int
+	halted   bool
+	overruns int
+	lfsr     uint16
+
+	audio audioState
+
+	debugLog []DebugEvent
+
+	// lastCycles is the instruction count of the most recent frame.
+	lastCycles int
+	// trace, when set, observes every executed instruction. It must not
+	// mutate the console (tracing cannot affect determinism).
+	trace func(TraceEvent)
+}
+
+// TraceEvent describes one executed instruction, for debuggers and the
+// romtool trace command.
+type TraceEvent struct {
+	Frame int
+	Cycle int
+	PC    uint16
+	Instr Instr
+}
+
+// New boots a console from params.
+func New(p Params) (*Console, error) {
+	end := int(p.LoadAddr) + len(p.Code)
+	if end > VRAMBase {
+		return nil, fmt.Errorf("vm: code of %d bytes at 0x%04X overruns VRAM at 0x%04X", len(p.Code), p.LoadAddr, VRAMBase)
+	}
+	c := &Console{pc: p.Entry}
+	copy(c.mem[p.LoadAddr:], p.Code)
+	c.regs[RegSP] = InitialSP
+	c.lfsr = uint16(p.Seed) ^ uint16(p.Seed>>16)
+	if c.lfsr == 0 {
+		c.lfsr = 0xACE1 // any nonzero tap state
+	}
+	return c, nil
+}
+
+// StepFrame latches input (pad 0 in bits 0-7, pad 1 in bits 8-15) and runs
+// the CPU until YIELD, HALT or the cycle budget. This is the paper's
+// Transition(I, S): one deterministic state transition per frame, with the
+// input treated as an opaque bit string.
+func (c *Console) StepFrame(input uint16) {
+	if c.halted {
+		return
+	}
+	c.mem[AddrPad0] = byte(input)
+	c.mem[AddrPad1] = byte(input >> 8)
+	binary.LittleEndian.PutUint16(c.mem[AddrFrame:], uint16(c.frame))
+
+	ran := 0
+	for ; ran < CyclesPerFrame; ran++ {
+		if c.trace != nil {
+			pc := c.pc
+			c.trace(TraceEvent{
+				Frame: c.frame,
+				Cycle: ran,
+				PC:    pc,
+				Instr: Decode(c.mem[pc], c.mem[(pc+1)&0xFFFF], c.mem[(pc+2)&0xFFFF], c.mem[(pc+3)&0xFFFF]),
+			})
+		}
+		stop := c.exec()
+		if stop {
+			break
+		}
+	}
+	if ran == CyclesPerFrame {
+		c.overruns++
+	}
+	c.lastCycles = ran
+	c.frame++
+	c.audio.step(c.mem[AddrAudioF], c.mem[AddrAudioV])
+}
+
+// SetTrace installs (or, with nil, removes) a per-instruction observer.
+// Tracing is read-only and does not alter execution or state hashes.
+func (c *Console) SetTrace(fn func(TraceEvent)) { c.trace = fn }
+
+// CyclesLastFrame reports how many instructions the most recent frame ran.
+func (c *Console) CyclesLastFrame() int { return c.lastCycles }
+
+// exec runs one instruction; it reports true when the frame must end.
+func (c *Console) exec() bool {
+	pc := c.pc
+	in := Decode(
+		c.mem[pc],
+		c.mem[(pc+1)&0xFFFF],
+		c.mem[(pc+2)&0xFFFF],
+		c.mem[(pc+3)&0xFFFF],
+	)
+	c.pc = pc + 4
+
+	switch in.Op {
+	case OpNOP:
+	case OpHALT:
+		c.halted = true
+		c.pc = pc // freeze
+		return true
+	case OpYIELD:
+		return true
+
+	case OpMOVI:
+		c.set(in.Rd, uint32(in.SImm()))
+	case OpMOVHI:
+		c.set(in.Rd, c.regs[in.Rd]&0xFFFF|uint32(in.Imm)<<16)
+	case OpMOV:
+		c.set(in.Rd, c.regs[in.Ra])
+
+	case OpADD:
+		c.set(in.Rd, c.regs[in.Ra]+c.regs[in.Rb])
+	case OpSUB:
+		c.set(in.Rd, c.regs[in.Ra]-c.regs[in.Rb])
+	case OpMUL:
+		c.set(in.Rd, c.regs[in.Ra]*c.regs[in.Rb])
+	case OpDIV:
+		c.set(in.Rd, sdiv(c.regs[in.Ra], c.regs[in.Rb]))
+	case OpMOD:
+		c.set(in.Rd, smod(c.regs[in.Ra], c.regs[in.Rb]))
+	case OpAND:
+		c.set(in.Rd, c.regs[in.Ra]&c.regs[in.Rb])
+	case OpOR:
+		c.set(in.Rd, c.regs[in.Ra]|c.regs[in.Rb])
+	case OpXOR:
+		c.set(in.Rd, c.regs[in.Ra]^c.regs[in.Rb])
+	case OpSHL:
+		c.set(in.Rd, c.regs[in.Ra]<<(c.regs[in.Rb]&31))
+	case OpSHR:
+		c.set(in.Rd, c.regs[in.Ra]>>(c.regs[in.Rb]&31))
+	case OpSAR:
+		c.set(in.Rd, uint32(int32(c.regs[in.Ra])>>(c.regs[in.Rb]&31)))
+
+	case OpADDI:
+		c.set(in.Rd, c.regs[in.Ra]+uint32(in.SImm()))
+	case OpMULI:
+		c.set(in.Rd, c.regs[in.Ra]*uint32(in.SImm()))
+	case OpANDI:
+		c.set(in.Rd, c.regs[in.Ra]&uint32(in.Imm))
+	case OpORI:
+		c.set(in.Rd, c.regs[in.Ra]|uint32(in.Imm))
+	case OpXORI:
+		c.set(in.Rd, c.regs[in.Ra]^uint32(in.Imm))
+	case OpSHLI:
+		c.set(in.Rd, c.regs[in.Ra]<<(in.Imm&31))
+	case OpSHRI:
+		c.set(in.Rd, c.regs[in.Ra]>>(in.Imm&31))
+	case OpSARI:
+		c.set(in.Rd, uint32(int32(c.regs[in.Ra])>>(in.Imm&31)))
+	case OpDIVI:
+		c.set(in.Rd, sdiv(c.regs[in.Ra], uint32(in.SImm())))
+	case OpMODI:
+		c.set(in.Rd, smod(c.regs[in.Ra], uint32(in.SImm())))
+
+	case OpLDB:
+		c.set(in.Rd, uint32(c.load8(c.ea(in))))
+	case OpLDH:
+		c.set(in.Rd, uint32(c.load16(c.ea(in))))
+	case OpLDW:
+		c.set(in.Rd, c.load32(c.ea(in)))
+	case OpSTB:
+		c.store8(c.ea(in), byte(c.regs[in.Rd]))
+	case OpSTH:
+		c.store16(c.ea(in), uint16(c.regs[in.Rd]))
+	case OpSTW:
+		c.store32(c.ea(in), c.regs[in.Rd])
+
+	case OpJMP:
+		c.pc = in.Imm
+	case OpJR:
+		c.pc = uint16(c.regs[in.Ra])
+	case OpCALL:
+		c.push(uint32(c.pc))
+		c.pc = in.Imm
+	case OpRET:
+		c.pc = uint16(c.pop())
+
+	case OpBEQ:
+		if c.regs[in.Rd] == c.regs[in.Ra] {
+			c.pc = in.Imm
+		}
+	case OpBNE:
+		if c.regs[in.Rd] != c.regs[in.Ra] {
+			c.pc = in.Imm
+		}
+	case OpBLT:
+		if int32(c.regs[in.Rd]) < int32(c.regs[in.Ra]) {
+			c.pc = in.Imm
+		}
+	case OpBGE:
+		if int32(c.regs[in.Rd]) >= int32(c.regs[in.Ra]) {
+			c.pc = in.Imm
+		}
+	case OpBLTU:
+		if c.regs[in.Rd] < c.regs[in.Ra] {
+			c.pc = in.Imm
+		}
+	case OpBGEU:
+		if c.regs[in.Rd] >= c.regs[in.Ra] {
+			c.pc = in.Imm
+		}
+
+	case OpPUSH:
+		c.push(c.regs[in.Rd])
+	case OpPOP:
+		c.set(in.Rd, c.pop())
+
+	case OpRAND:
+		c.set(in.Rd, uint32(c.rand16()))
+	case OpSYS:
+		if len(c.debugLog) < maxDebugEvents {
+			c.debugLog = append(c.debugLog, DebugEvent{Frame: c.frame, Code: in.Imm, Value: c.regs[in.Rd]})
+		}
+
+	default:
+		// Unknown opcode: halt deterministically rather than guessing.
+		c.halted = true
+		c.pc = pc
+		return true
+	}
+	return false
+}
+
+// set writes a register, keeping R0 hardwired to zero.
+func (c *Console) set(r byte, v uint32) {
+	if r == 0 {
+		return
+	}
+	c.regs[r] = v
+}
+
+// ea computes the effective address of a memory instruction.
+func (c *Console) ea(in Instr) uint16 {
+	return uint16(c.regs[in.Ra] + uint32(in.SImm()))
+}
+
+func (c *Console) load8(a uint16) byte { return c.mem[a] }
+
+func (c *Console) load16(a uint16) uint16 {
+	return uint16(c.mem[a]) | uint16(c.mem[(a+1)&0xFFFF])<<8
+}
+
+func (c *Console) load32(a uint16) uint32 {
+	return uint32(c.mem[a]) |
+		uint32(c.mem[(a+1)&0xFFFF])<<8 |
+		uint32(c.mem[(a+2)&0xFFFF])<<16 |
+		uint32(c.mem[(a+3)&0xFFFF])<<24
+}
+
+// store8 writes memory, keeping the read-only MMIO bytes (pads and frame
+// counter) immutable from the program's side.
+func (c *Console) store8(a uint16, v byte) {
+	switch a {
+	case AddrPad0, AddrPad1, AddrFrame, AddrFrame + 1:
+		return
+	}
+	c.mem[a] = v
+}
+
+func (c *Console) store16(a uint16, v uint16) {
+	c.store8(a, byte(v))
+	c.store8((a+1)&0xFFFF, byte(v>>8))
+}
+
+func (c *Console) store32(a uint16, v uint32) {
+	c.store8(a, byte(v))
+	c.store8((a+1)&0xFFFF, byte(v>>8))
+	c.store8((a+2)&0xFFFF, byte(v>>16))
+	c.store8((a+3)&0xFFFF, byte(v>>24))
+}
+
+func (c *Console) push(v uint32) {
+	c.regs[RegSP] -= 4
+	c.store32(uint16(c.regs[RegSP]), v)
+}
+
+func (c *Console) pop() uint32 {
+	v := c.load32(uint16(c.regs[RegSP]))
+	c.regs[RegSP] += 4
+	return v
+}
+
+// rand16 advances the 16-bit Fibonacci LFSR (taps 16,14,13,11) once per
+// output bit, producing a full 16-bit value.
+func (c *Console) rand16() uint16 {
+	var v uint16
+	for i := 0; i < 16; i++ {
+		bit := (c.lfsr ^ c.lfsr>>2 ^ c.lfsr>>3 ^ c.lfsr>>5) & 1
+		c.lfsr = c.lfsr>>1 | bit<<15
+		v = v<<1 | bit
+	}
+	return v
+}
+
+func sdiv(a, b uint32) uint32 {
+	if b == 0 {
+		return 0
+	}
+	return uint32(int32(a) / int32(b))
+}
+
+func smod(a, b uint32) uint32 {
+	if b == 0 {
+		return 0
+	}
+	return uint32(int32(a) % int32(b))
+}
+
+// FrameCount reports how many frames have been executed.
+func (c *Console) FrameCount() int { return c.frame }
+
+// Halted reports whether the console hit HALT or an illegal opcode.
+func (c *Console) Halted() bool { return c.halted }
+
+// Overruns reports how many frames exhausted the cycle budget.
+func (c *Console) Overruns() int { return c.overruns }
+
+// Reg returns the value of register r (for tests and tooling).
+func (c *Console) Reg(r int) uint32 { return c.regs[r&0x0F] }
+
+// PC returns the current program counter.
+func (c *Console) PC() uint16 { return c.pc }
+
+// Peek reads a byte of memory without side effects.
+func (c *Console) Peek(addr uint16) byte { return c.mem[addr] }
+
+// Peek32 reads a 32-bit little-endian word without side effects.
+func (c *Console) Peek32(addr uint16) uint32 { return c.load32(addr) }
+
+// Poke writes a byte of memory, honoring MMIO read-only rules. It exists for
+// tests; game-transparent operation never pokes memory from outside.
+func (c *Console) Poke(addr uint16, v byte) { c.store8(addr, v) }
+
+// DebugLog returns the recorded SYS events.
+func (c *Console) DebugLog() []DebugEvent {
+	out := make([]DebugEvent, len(c.debugLog))
+	copy(out, c.debugLog)
+	return out
+}

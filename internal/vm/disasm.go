@@ -1,0 +1,56 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders one decoded instruction as assembler text.
+func Disassemble(in Instr) string {
+	kind, ok := OperandKindOf(in.Op)
+	if !ok {
+		return fmt.Sprintf("db 0x%02X, 0x%02X, 0x%02X, 0x%02X",
+			in.Op, in.Rd<<4|in.Ra, byte(in.Imm), byte(in.Imm>>8))
+	}
+	name := OpName(in.Op)
+	switch kind {
+	case KindNone:
+		return name
+	case KindRdImm:
+		return fmt.Sprintf("%s r%d, %d", name, in.Rd, in.Imm)
+	case KindRdRa:
+		return fmt.Sprintf("%s r%d, r%d", name, in.Rd, in.Ra)
+	case KindRRR:
+		return fmt.Sprintf("%s r%d, r%d, r%d", name, in.Rd, in.Ra, in.Rb)
+	case KindRRI:
+		return fmt.Sprintf("%s r%d, r%d, %d", name, in.Rd, in.Ra, in.SImm())
+	case KindMem:
+		if off := in.SImm(); off != 0 {
+			return fmt.Sprintf("%s r%d, [r%d%+d]", name, in.Rd, in.Ra, off)
+		}
+		return fmt.Sprintf("%s r%d, [r%d]", name, in.Rd, in.Ra)
+	case KindImm:
+		return fmt.Sprintf("%s 0x%04X", name, in.Imm)
+	case KindRa:
+		return fmt.Sprintf("%s r%d", name, in.Ra)
+	case KindRd:
+		return fmt.Sprintf("%s r%d", name, in.Rd)
+	case KindBranch:
+		return fmt.Sprintf("%s r%d, r%d, 0x%04X", name, in.Rd, in.Ra, in.Imm)
+	case KindSys:
+		return fmt.Sprintf("%s r%d, %d", name, in.Rd, in.Imm)
+	default:
+		return name
+	}
+}
+
+// DisassembleCode renders a code image as one instruction per line, with
+// addresses, starting at base.
+func DisassembleCode(code []byte, base uint16) string {
+	var b strings.Builder
+	for i := 0; i+4 <= len(code); i += 4 {
+		in := Decode(code[i], code[i+1], code[i+2], code[i+3])
+		fmt.Fprintf(&b, "0x%04X: %s\n", base+uint16(i), Disassemble(in))
+	}
+	return b.String()
+}

@@ -1,0 +1,282 @@
+// Package vm implements RK-32, a deterministic fantasy arcade console.
+//
+// RK-32 stands in for the MAME virtual machine of the paper (§2): it
+// emulates a complete game platform — CPU, memory, two game pads, a
+// framebuffer video device and a square-wave audio device — and runs games
+// shipped as opaque ROM images (see internal/rom). The properties the
+// paper's approach relies on hold by construction:
+//
+//   - Determinism (§5): a console's state evolution is a pure function of
+//     the initial ROM and the per-frame input words. There is no access to
+//     host clocks, environment or I/O; in-game randomness comes from an
+//     LFSR seeded by the ROM header.
+//   - Transparency (§2): the console exposes Transition as StepFrame(input)
+//     where input is an opaque 16-bit string. Bits 0-7 are pad 0 and bits
+//     8-15 are pad 1, which is exactly the SET[k] partition of §3.
+//
+// The CPU is a 32-bit load/store machine with 16 registers and fixed 4-byte
+// instructions, chosen for easy, bug-resistant emulation rather than
+// resemblance to any specific historical chip.
+package vm
+
+import "fmt"
+
+// Architectural constants.
+const (
+	// NumRegs is the number of general-purpose registers. R0 reads as
+	// zero and ignores writes; R15 is the stack pointer by convention.
+	NumRegs = 16
+
+	// RegSP is the conventional stack-pointer register used implicitly by
+	// PUSH/POP/CALL/RET.
+	RegSP = 15
+
+	// MemSize is the byte size of the flat address space.
+	MemSize = 0x10000
+
+	// VRAMBase is the first byte of the framebuffer.
+	VRAMBase = 0xC000
+	// ScreenW and ScreenH are the framebuffer dimensions; one byte per
+	// pixel (palette index), row-major.
+	ScreenW = 128
+	ScreenH = 96
+	// VRAMSize is ScreenW*ScreenH.
+	VRAMSize = ScreenW * ScreenH
+
+	// MMIO registers.
+	AddrPad0   = 0xF000 // player 0 buttons (read-only)
+	AddrPad1   = 0xF001 // player 1 buttons (read-only)
+	AddrFrame  = 0xF002 // 16-bit frame counter (read-only, wraps)
+	AddrAudioF = 0xF004 // audio frequency index; 0 silences
+	AddrAudioV = 0xF005 // audio volume 0-255
+
+	// InitialSP is the reset value of R15; the stack grows down from just
+	// below VRAM.
+	InitialSP = VRAMBase
+
+	// CyclesPerFrame is the instruction budget of one frame. A frame ends
+	// at YIELD or when the budget is exhausted, whichever comes first, so
+	// a buggy or malicious ROM cannot stall the console (ending the frame
+	// on budget exhaustion is itself deterministic).
+	CyclesPerFrame = 100000
+)
+
+// Pad button bits, one byte per player.
+const (
+	BtnUp     = 1 << 0
+	BtnDown   = 1 << 1
+	BtnLeft   = 1 << 2
+	BtnRight  = 1 << 3
+	BtnA      = 1 << 4
+	BtnB      = 1 << 5
+	BtnStart  = 1 << 6
+	BtnSelect = 1 << 7
+)
+
+// Opcodes. Instructions are 4 bytes, little-endian:
+//
+//	byte 0: opcode
+//	byte 1: rd (high nibble) | ra (low nibble)
+//	bytes 2-3: imm16; register-register ALU ops keep rb in imm16's low nibble.
+const (
+	OpNOP   = 0x00
+	OpHALT  = 0x01 // stop the console permanently
+	OpYIELD = 0x02 // end the current frame
+
+	OpMOVI  = 0x10 // rd = signext(imm16)
+	OpMOVHI = 0x11 // rd = (rd & 0xFFFF) | imm16<<16
+	OpMOV   = 0x12 // rd = ra
+
+	OpADD = 0x20 // rd = ra + rb
+	OpSUB = 0x21
+	OpMUL = 0x22
+	OpDIV = 0x23 // rb==0 => rd=0 (deterministic, no trap)
+	OpMOD = 0x24 // rb==0 => rd=0
+	OpAND = 0x25
+	OpOR  = 0x26
+	OpXOR = 0x27
+	OpSHL = 0x28 // shift count masked to 5 bits
+	OpSHR = 0x29 // logical
+	OpSAR = 0x2A // arithmetic
+
+	OpADDI = 0x30 // rd = ra + signext(imm16)
+	OpMULI = 0x31
+	OpANDI = 0x32 // immediate zero-extended for logical ops
+	OpORI  = 0x33
+	OpXORI = 0x34
+	OpSHLI = 0x35
+	OpSHRI = 0x36
+	OpSARI = 0x37
+	OpDIVI = 0x38 // imm==0 => rd=0
+	OpMODI = 0x39
+
+	OpLDB = 0x40 // rd = zeroext mem8[ra+imm]
+	OpLDH = 0x41 // rd = zeroext mem16[ra+imm]
+	OpLDW = 0x42 // rd = mem32[ra+imm]
+	OpSTB = 0x43 // mem8[ra+imm] = rd
+	OpSTH = 0x44
+	OpSTW = 0x45
+
+	OpJMP  = 0x50 // pc = imm16
+	OpJR   = 0x51 // pc = ra
+	OpCALL = 0x52 // push pc_next; pc = imm16
+	OpRET  = 0x53 // pc = pop
+
+	OpBEQ  = 0x54 // if rd == ra: pc = imm16
+	OpBNE  = 0x55
+	OpBLT  = 0x56 // signed
+	OpBGE  = 0x57 // signed
+	OpBLTU = 0x58
+	OpBGEU = 0x59
+
+	OpPUSH = 0x60 // sp -= 4; mem32[sp] = rd
+	OpPOP  = 0x61 // rd = mem32[sp]; sp += 4
+
+	OpRAND = 0x70 // rd = next LFSR value (0..65535)
+	OpSYS  = 0x71 // debug trap: records (imm16, rd) in the console's log
+)
+
+// Instr is a decoded instruction.
+type Instr struct {
+	Op  byte
+	Rd  byte
+	Ra  byte
+	Rb  byte   // low nibble of Imm, meaningful for reg-reg ALU ops
+	Imm uint16 // raw immediate
+}
+
+// SImm returns the immediate sign-extended to 32 bits.
+func (i Instr) SImm() int32 { return int32(int16(i.Imm)) }
+
+// Encode packs the instruction into its 4-byte form.
+func (i Instr) Encode() [4]byte {
+	return [4]byte{
+		i.Op,
+		i.Rd<<4 | i.Ra&0x0F,
+		byte(i.Imm),
+		byte(i.Imm >> 8),
+	}
+}
+
+// Decode unpacks a 4-byte instruction.
+func Decode(b0, b1, b2, b3 byte) Instr {
+	imm := uint16(b2) | uint16(b3)<<8
+	return Instr{
+		Op:  b0,
+		Rd:  b1 >> 4,
+		Ra:  b1 & 0x0F,
+		Rb:  byte(imm & 0x0F),
+		Imm: imm,
+	}
+}
+
+// opInfo describes assembler/disassembler metadata for one opcode.
+type opInfo struct {
+	name string
+	kind opKind
+}
+
+type opKind int
+
+const (
+	kindNone   opKind = iota // no operands
+	kindRdImm                // rd, imm16
+	kindRdRa                 // rd, ra
+	kindRRR                  // rd, ra, rb
+	kindRRI                  // rd, ra, imm16
+	kindMem                  // rd, [ra+imm]
+	kindImm                  // imm16
+	kindRa                   // single register in ra
+	kindRd                   // single register in rd
+	kindBranch               // rd, ra, target(imm16)
+	kindSys                  // rd, imm16 (register value + code)
+)
+
+var opTable = map[byte]opInfo{
+	OpNOP:   {"nop", kindNone},
+	OpHALT:  {"halt", kindNone},
+	OpYIELD: {"yield", kindNone},
+	OpMOVI:  {"movi", kindRdImm},
+	OpMOVHI: {"movhi", kindRdImm},
+	OpMOV:   {"mov", kindRdRa},
+	OpADD:   {"add", kindRRR},
+	OpSUB:   {"sub", kindRRR},
+	OpMUL:   {"mul", kindRRR},
+	OpDIV:   {"div", kindRRR},
+	OpMOD:   {"mod", kindRRR},
+	OpAND:   {"and", kindRRR},
+	OpOR:    {"or", kindRRR},
+	OpXOR:   {"xor", kindRRR},
+	OpSHL:   {"shl", kindRRR},
+	OpSHR:   {"shr", kindRRR},
+	OpSAR:   {"sar", kindRRR},
+	OpADDI:  {"addi", kindRRI},
+	OpMULI:  {"muli", kindRRI},
+	OpANDI:  {"andi", kindRRI},
+	OpORI:   {"ori", kindRRI},
+	OpXORI:  {"xori", kindRRI},
+	OpSHLI:  {"shli", kindRRI},
+	OpSHRI:  {"shri", kindRRI},
+	OpSARI:  {"sari", kindRRI},
+	OpDIVI:  {"divi", kindRRI},
+	OpMODI:  {"modi", kindRRI},
+	OpLDB:   {"ldb", kindMem},
+	OpLDH:   {"ldh", kindMem},
+	OpLDW:   {"ldw", kindMem},
+	OpSTB:   {"stb", kindMem},
+	OpSTH:   {"sth", kindMem},
+	OpSTW:   {"stw", kindMem},
+	OpJMP:   {"jmp", kindImm},
+	OpJR:    {"jr", kindRa},
+	OpCALL:  {"call", kindImm},
+	OpRET:   {"ret", kindNone},
+	OpBEQ:   {"beq", kindBranch},
+	OpBNE:   {"bne", kindBranch},
+	OpBLT:   {"blt", kindBranch},
+	OpBGE:   {"bge", kindBranch},
+	OpBLTU:  {"bltu", kindBranch},
+	OpBGEU:  {"bgeu", kindBranch},
+	OpPUSH:  {"push", kindRd},
+	OpPOP:   {"pop", kindRd},
+	OpRAND:  {"rand", kindRd},
+	OpSYS:   {"sys", kindSys},
+}
+
+// OpName returns the mnemonic for an opcode, or "db 0xNN" for unknown bytes.
+func OpName(op byte) string {
+	if info, ok := opTable[op]; ok {
+		return info.name
+	}
+	return fmt.Sprintf("db 0x%02X", op)
+}
+
+// Mnemonics returns the mnemonic->opcode mapping used by the assembler.
+func Mnemonics() map[string]byte {
+	m := make(map[string]byte, len(opTable))
+	for op, info := range opTable {
+		m[info.name] = op
+	}
+	return m
+}
+
+// OperandKindOf exposes the operand shape of an opcode for the assembler and
+// disassembler. The bool is false for unknown opcodes.
+func OperandKindOf(op byte) (int, bool) {
+	info, ok := opTable[op]
+	return int(info.kind), ok
+}
+
+// Operand kind values re-exported for tooling (mirrors the internal enum).
+const (
+	KindNone   = int(kindNone)
+	KindRdImm  = int(kindRdImm)
+	KindRdRa   = int(kindRdRa)
+	KindRRR    = int(kindRRR)
+	KindRRI    = int(kindRRI)
+	KindMem    = int(kindMem)
+	KindImm    = int(kindImm)
+	KindRa     = int(kindRa)
+	KindRd     = int(kindRd)
+	KindBranch = int(kindBranch)
+	KindSys    = int(kindSys)
+)

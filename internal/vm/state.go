@@ -1,0 +1,122 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// Machine state capture: hashing for cross-replica convergence checks and
+// savestates for the journal version's late-joiner support (a joining site
+// receives a savestate plus the inputs after it, instead of replaying the
+// whole game).
+
+// savestate format (little endian):
+//
+//	magic   "RKSV" (4)
+//	version u16
+//	pc      u16
+//	frame   u32
+//	flags   u8 (bit0 halted, bit1 audio oddTick)
+//	lfsr    u16
+//	phase   u32
+//	overrun u32
+//	regs    16 x u32
+//	mem     MemSize bytes
+const (
+	saveMagic   = "RKSV"
+	saveVersion = 1
+	saveLen     = 4 + 2 + 2 + 4 + 1 + 2 + 4 + 4 + NumRegs*4 + MemSize
+)
+
+// StateHash returns a 64-bit FNV-1a digest of the complete machine state:
+// registers, PC, halt flag, memory (including VRAM and MMIO), the RNG and
+// the audio oscillator. Two replicas that stay logically consistent report
+// equal hashes after every frame (§3's convergence condition).
+func (c *Console) StateHash() uint64 {
+	h := fnv.New64a()
+	var scratch [8]byte
+	for _, r := range c.regs {
+		binary.LittleEndian.PutUint32(scratch[:4], r)
+		h.Write(scratch[:4])
+	}
+	binary.LittleEndian.PutUint16(scratch[:2], c.pc)
+	h.Write(scratch[:2])
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(c.frame))
+	h.Write(scratch[:4])
+	if c.halted {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	binary.LittleEndian.PutUint16(scratch[:2], c.lfsr)
+	h.Write(scratch[:2])
+	binary.LittleEndian.PutUint32(scratch[:4], c.audio.phase)
+	h.Write(scratch[:4])
+	if c.audio.oddTick {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	h.Write(c.mem[:])
+	return h.Sum64()
+}
+
+// Save serializes the complete machine state.
+func (c *Console) Save() []byte {
+	buf := make([]byte, 0, saveLen)
+	buf = append(buf, saveMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, saveVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, c.pc)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.frame))
+	var flags byte
+	if c.halted {
+		flags |= 1
+	}
+	if c.audio.oddTick {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint16(buf, c.lfsr)
+	buf = binary.LittleEndian.AppendUint32(buf, c.audio.phase)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.overruns))
+	for _, r := range c.regs {
+		buf = binary.LittleEndian.AppendUint32(buf, r)
+	}
+	buf = append(buf, c.mem[:]...)
+	return buf
+}
+
+// Restore replaces the machine state with a prior Save image.
+func (c *Console) Restore(data []byte) error {
+	if len(data) != saveLen {
+		return fmt.Errorf("vm: savestate is %d bytes, want %d", len(data), saveLen)
+	}
+	if string(data[:4]) != saveMagic {
+		return fmt.Errorf("vm: bad savestate magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != saveVersion {
+		return fmt.Errorf("vm: savestate version %d unsupported (want %d)", v, saveVersion)
+	}
+	off := 6
+	c.pc = binary.LittleEndian.Uint16(data[off:])
+	off += 2
+	c.frame = int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	flags := data[off]
+	off++
+	c.halted = flags&1 != 0
+	c.audio.oddTick = flags&2 != 0
+	c.lfsr = binary.LittleEndian.Uint16(data[off:])
+	off += 2
+	c.audio.phase = binary.LittleEndian.Uint32(data[off:])
+	off += 4
+	c.overruns = int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	for i := range c.regs {
+		c.regs[i] = binary.LittleEndian.Uint32(data[off:])
+		off += 4
+	}
+	copy(c.mem[:], data[off:])
+	return nil
+}
