@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: verify verify-race fuzz bench bench-hotpath
+
+# Tier 1: the baseline gate — everything builds, every test passes.
+verify:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Tier 2: static analysis plus the full suite under the race detector.
+verify-race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Wire-format fuzzers (coverage-guided; seeds always run under `make verify`).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/core/ -fuzz FuzzDecodeSync -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core/ -fuzz FuzzDecodeSnapChunk -fuzztime $(FUZZTIME)
+
+# The steady-state sync loop with allocs/op; BenchmarkSyncHotPath must
+# report 0 allocs/op (also enforced by TestSyncHotPathDoesNotAllocate).
+bench-hotpath:
+	$(GO) test -run NONE -bench 'SyncHotPath|SyncInputNoWait' -benchmem .
+
+# The full figure-reproduction benchmark suite.
+bench:
+	$(GO) test -run NONE -bench . -benchmem .

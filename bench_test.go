@@ -348,6 +348,100 @@ func BenchmarkSyncInputNoWait(b *testing.B) {
 	<-done
 }
 
+// stepClock is a hand-cranked clock for the hot-path benchmark: no
+// scheduler, no goroutines, no allocation.
+type stepClock struct{ t time.Time }
+
+func (c *stepClock) Now() time.Time { return c.t }
+func (c *stepClock) Sleep(d time.Duration) {
+	if d > 0 {
+		c.t = c.t.Add(d)
+	}
+}
+
+// benchPipe is a lossless conn over preallocated slots, so the transport
+// contributes zero allocations and the benchmark isolates the sync module.
+type benchPipe struct {
+	peer        *benchPipe
+	slots       [][]byte
+	head, count int
+}
+
+func newBenchPipePair() (*benchPipe, *benchPipe) {
+	mk := func() *benchPipe {
+		c := &benchPipe{slots: make([][]byte, 64)}
+		for i := range c.slots {
+			c.slots[i] = make([]byte, 0, 4096)
+		}
+		return c
+	}
+	a, b := mk(), mk()
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+func (c *benchPipe) Send(p []byte) error {
+	q := c.peer
+	if q.count == len(q.slots) {
+		return nil // full: drop, like UDP
+	}
+	i := (q.head + q.count) % len(q.slots)
+	q.slots[i] = append(q.slots[i][:0], p...)
+	q.count++
+	return nil
+}
+
+func (c *benchPipe) TryRecv() ([]byte, bool) {
+	if c.count == 0 {
+		return nil, false
+	}
+	p := c.slots[c.head]
+	c.head = (c.head + 1) % len(c.slots)
+	c.count--
+	return p, true
+}
+
+func (c *benchPipe) Close() error       { return nil }
+func (c *benchPipe) LocalAddr() string  { return "bench" }
+func (c *benchPipe) RemoteAddr() string { return "bench" }
+
+// BenchmarkSyncHotPath measures the steady-state per-frame cost of the full
+// send+receive wire path for a two-player frame (both sites), with -benchmem
+// pinning the zero-allocation property: encode, decode and input buffering
+// all run out of per-site scratch memory.
+func BenchmarkSyncHotPath(b *testing.B) {
+	clk := &stepClock{t: time.Unix(0, 0)}
+	c0, c1 := newBenchPipePair()
+	mk := func(site int, conn transport.Conn) *core.InputSync {
+		s, err := core.NewInputSync(core.Config{SiteNo: site}, clk, clk.Now(),
+			[]core.Peer{{Site: 1 - site, Conn: conn}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	s0, s1 := mk(0, c0), mk(1, c1)
+	step := func(f int) {
+		if _, err := s0.SyncInput(uint16(f)&0xFF, f); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s1.SyncInput(uint16(f)<<8, f); err != nil {
+			b.Fatal(err)
+		}
+		clk.Sleep(core.DefaultSendInterval)
+	}
+	frame := 0
+	for ; frame < 300; frame++ { // warm-up to steady-state scratch sizes
+		step(frame)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step(frame)
+		frame++
+	}
+}
+
 // BenchmarkNetemPlan measures the shaper's per-packet decision cost.
 func BenchmarkNetemPlan(b *testing.B) {
 	e := netem.New(netem.Config{

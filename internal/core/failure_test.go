@@ -231,8 +231,11 @@ func TestHugeFrameRangeRejected(t *testing.T) {
 		Inputs: []uint16{1, 2, 3, 4},
 	}
 	s.handle(s.peers[1], encodeSync(nil, m))
-	if got := len(s.ibuf); got > 1<<20 {
+	if got := len(s.ibuf.buf); got > 1<<12 {
 		t.Fatalf("hostile range grew the buffer to %d entries", got)
+	}
+	if got := s.Stats().BufPeak; got > 1<<12 {
+		t.Fatalf("hostile range pushed the window peak to %d frames", got)
 	}
 }
 

@@ -11,7 +11,8 @@ import (
 // N players plus observers. For the paper's two-site configuration the code
 // paths reduce exactly to the published pseudocode:
 //
-//   - IBuf            -> ibuf (growable instead of "unlimited array")
+//   - IBuf            -> ibuf (a bounded ring window instead of the paper's
+//     "unlimited array"; see inputRing)
 //   - IBufPointer     -> pointer
 //   - LastRcvFrame[i] -> lastRcv[i]
 //   - LastAckFrame[i] -> peers[i].lastAck
@@ -29,9 +30,16 @@ type InputSync struct {
 
 	peers map[int]*peerState
 
-	ibuf    []uint16
+	ibuf    inputRing
 	pointer int
 	lastRcv map[int]int
+
+	// retainFloor pins the ring's retired edge: frames >= retainFloor stay
+	// buffered even after delivery and acknowledgement. The lockstep path
+	// leaves it unset (maxInt); the rollback baseline lowers it to its
+	// confirmation frontier, which re-reads delivered frames during
+	// reconciliation. See SetRetainFloor.
+	retainFloor int
 
 	// rcvAt[k] is when lastRcv[k] last advanced: MasterRcvTime for site 0
 	// (Algorithm 4) and the basis of remote-frame estimation for the
@@ -44,7 +52,11 @@ type InputSync struct {
 	// detection); Session wires it to its hash log.
 	OnHash func(site, frame int, hash uint64)
 
-	sendBuf []byte
+	// Hot-path scratch buffers, reused across sends and receives so the
+	// 60 FPS loop does not allocate (and hence does not churn the GC).
+	sendBuf    []byte
+	sendInputs []uint16
+	rcvInputs  []uint16
 }
 
 // peerState tracks per-connection protocol state.
@@ -73,6 +85,7 @@ type Stats struct {
 	WaitTime      time.Duration
 	MalformedRcvd int
 	SnapChunks    int // snapshot chunks served to late joiners
+	BufPeak       int // high-water mark of the input ring window, in frames
 }
 
 // NewInputSync creates the sync state for one site. epoch anchors the
@@ -84,14 +97,16 @@ func NewInputSync(cfg Config, clock vclock.Clock, epoch time.Time, peers []Peer)
 		return nil, err
 	}
 	s := &InputSync{
-		cfg:     cfg,
-		clock:   clock,
-		epoch:   epoch,
-		lag:     cfg.BufFrame,
-		peers:   make(map[int]*peerState, len(peers)),
-		lastRcv: make(map[int]int, cfg.NumPlayers),
-		rcvAt:   make(map[int]time.Time, cfg.NumPlayers),
-		pointer: cfg.StartFrame,
+		cfg:         cfg,
+		clock:       clock,
+		epoch:       epoch,
+		lag:         cfg.BufFrame,
+		peers:       make(map[int]*peerState, len(peers)),
+		lastRcv:     make(map[int]int, cfg.NumPlayers),
+		rcvAt:       make(map[int]time.Time, cfg.NumPlayers),
+		pointer:     cfg.StartFrame,
+		ibuf:        newInputRing(cfg.StartFrame),
+		retainFloor: int(^uint(0) >> 1),
 	}
 	// Initialization (paper §3): the arrays start at BufFrame-1, because
 	// the first BufFrame frames of the game carry no input (local lag).
@@ -129,31 +144,66 @@ func (s *InputSync) Pointer() int { return s.pointer }
 func (s *InputSync) LastRcv(site int) int { return s.lastRcv[site] }
 
 // put merges one player's partial input into the buffer slot for frame f
-// (paper: IBuf[f](SET[k]) = I(SET[k])).
+// (paper: IBuf[f](SET[k]) = I(SET[k])). Writes below the ring's retired
+// edge are stale retransmissions and are dropped.
 func (s *InputSync) put(f, player int, input uint16) {
-	idx := f - s.cfg.StartFrame
-	if idx >= len(s.ibuf) {
-		s.ibuf = append(s.ibuf, make([]uint16, idx+1-len(s.ibuf))...)
+	if s.ibuf.merge(f, s.cfg.Masks[player], input) {
+		if w := s.ibuf.window(); w > s.stats.BufPeak {
+			s.stats.BufPeak = w
+		}
 	}
-	mask := s.cfg.Masks[player]
-	s.ibuf[idx] = s.ibuf[idx]&^mask | input&mask
 }
 
 // maxFrameAhead bounds how far beyond the local pointer a received frame may
 // reach. A correct peer cannot run ahead of us by more than the mutual local
 // lag (it needs our inputs to progress), so anything further is hostile or
-// corrupt and must not balloon the buffer.
+// corrupt and must not balloon the buffer. The bound follows the live lag —
+// an adaptive-lag session that raised the lag above cfg.BufFrame legitimately
+// runs that much further ahead — but never shrinks below the configured
+// BufFrame, so frames sent before a lag reduction are still accepted.
 func (s *InputSync) maxFrameAhead() int {
-	return s.pointer + 2*s.cfg.BufFrame + maxInputsPerMsg
+	lag := s.lag
+	if s.cfg.BufFrame > lag {
+		lag = s.cfg.BufFrame
+	}
+	return s.pointer + 2*lag + maxInputsPerMsg
 }
 
-// get returns the merged input for frame f.
-func (s *InputSync) get(f int) uint16 {
-	idx := f - s.cfg.StartFrame
-	if idx < 0 || idx >= len(s.ibuf) {
-		return 0
+// get returns the merged input buffered for frame f, or (0, false) outside
+// the ring window — the frame was retired, or nothing has arrived for it.
+// The first BufFrame frames of a session are never written (local lag), so
+// in-window-but-unwritten frames simply do not exist: reads of them report
+// ok=false and the input is an authoritative zero by protocol definition.
+func (s *InputSync) get(f int) (uint16, bool) {
+	return s.ibuf.get(f)
+}
+
+// retire slides the ring's retired edge to the first frame someone may still
+// need: the local delivery pointer, any peer's first unacknowledged frame
+// (retransmission source — only players retransmit), and the external retain
+// floor. Called after deliveries and ack advances; each is monotone, so the
+// edge never moves backward.
+func (s *InputSync) retire() {
+	edge := s.pointer
+	if !s.cfg.IsObserver() {
+		for _, p := range s.peers {
+			if a := p.lastAck + 1; a < edge {
+				edge = a
+			}
+		}
 	}
-	return s.ibuf[idx]
+	if s.retainFloor < edge {
+		edge = s.retainFloor
+	}
+	s.ibuf.retire(edge)
+}
+
+// SetRetainFloor pins buffered frames >= f against retirement. The rollback
+// baseline maintains it at its confirmation frontier, because reconciliation
+// re-reads inputs of frames that lockstep would have discarded the moment
+// they were delivered and acknowledged.
+func (s *InputSync) SetRetainFloor(f int) {
+	s.retainFloor = f
 }
 
 // SyncInput is Algorithm 2: buffer the local input for frame F+BufFrame,
@@ -209,8 +259,10 @@ func (s *InputSync) SyncInput(input uint16, frame int) (uint16, error) {
 	}
 
 	// Lines 22-23.
+	merged, _ := s.get(s.pointer)
 	s.pointer++
-	return s.get(s.pointer - 1), nil
+	s.retire()
+	return merged, nil
 }
 
 // completeThrough returns the highest frame for which every player's input
@@ -270,6 +322,7 @@ func (s *InputSync) sendTo(p *peerState, now time.Time) {
 		m.Ack = -1 // observers contribute no inputs worth acking
 	}
 	if p.haveEcho {
+		m.HasEcho = true
 		m.EchoTime = p.echoTime
 		m.EchoDelay = uint32(now.Sub(p.echoRecvAt) / time.Microsecond)
 	}
@@ -294,14 +347,15 @@ func (s *InputSync) sendTo(p *peerState, now time.Time) {
 		m.From, m.To = int32(s.pointer), int32(s.pointer-1)
 	} else {
 		m.From, m.To = int32(from), int32(to)
-		m.Inputs = make([]uint16, 0, to-from+1)
+		m.Inputs = s.sendInputs[:0]
 		for f := from; f <= to; f++ {
-			if forwarding {
-				m.Inputs = append(m.Inputs, s.get(f))
-			} else {
-				m.Inputs = append(m.Inputs, s.get(f)&s.cfg.Masks[s.cfg.SiteNo])
+			word, _ := s.get(f) // unwritten early frames read as 0
+			if !forwarding {
+				word &= s.cfg.Masks[s.cfg.SiteNo]
 			}
+			m.Inputs = append(m.Inputs, word)
 		}
+		s.sendInputs = m.Inputs // keep any growth for the next send
 		m.Merged = forwarding
 	}
 	s.sendBuf = encodeSync(s.sendBuf, m)
@@ -325,10 +379,13 @@ func (s *InputSync) handle(p *peerState, raw []byte) {
 	}
 	switch raw[0] {
 	case msgSync:
-		m, err := decodeSync(raw)
+		m, err := decodeSyncInto(raw, s.rcvInputs)
 		if err != nil {
 			s.stats.MalformedRcvd++
 			return
+		}
+		if m.Inputs != nil {
+			s.rcvInputs = m.Inputs // keep any growth for the next receive
 		}
 		s.handleSync(p, m)
 	case msgHash:
@@ -353,8 +410,11 @@ func (s *InputSync) handleSync(p *peerState, m syncMsg) {
 	now := s.clock.Now()
 
 	// RTT sample: the peer echoed our sendTime together with how long it
-	// held it. rtt = elapsed since we stamped it, minus the hold.
-	if m.EchoTime != 0 || m.EchoDelay != 0 {
+	// held it. rtt = elapsed since we stamped it, minus the hold. HasEcho
+	// is an explicit wire bit, so a timestamp that legitimately reads 0 µs
+	// (stamped exactly at the epoch, echoed immediately) still yields a
+	// sample instead of being mistaken for "no echo yet".
+	if m.HasEcho {
 		elapsed := time.Duration(microsSince(s.epoch, now)-m.EchoTime) * time.Microsecond
 		hold := time.Duration(m.EchoDelay) * time.Microsecond
 		if sample := elapsed - hold; sample >= 0 && sample < time.Minute {
@@ -376,26 +436,36 @@ func (s *InputSync) handleSync(p *peerState, m syncMsg) {
 
 	switch {
 	case m.Merged && s.cfg.IsObserver() && m.Sender < s.cfg.NumPlayers && m.To >= m.From:
-		// Forwarded stream: complete input words from one player.
+		// Forwarded stream: complete input words from one player. Writes
+		// below the ring's retired edge are stale and dropped by put.
 		for i, in := range m.Inputs {
 			f := int(m.From) + i
-			if f < s.cfg.StartFrame {
-				continue
-			}
 			for k := 0; k < s.cfg.NumPlayers; k++ {
 				s.put(f, k, in)
 			}
 		}
-		fresh := false
-		for k := 0; k < s.cfg.NumPlayers; k++ {
-			if int(m.To) > s.lastRcv[k] {
-				fresh = true
-				s.lastRcv[k] = int(m.To)
-				s.rcvAt[k] = now
+		// A merged word advances every player's frontier at once; split
+		// the payload into fresh vs retransmitted words by the actual
+		// advance delta, exactly like the player path below.
+		prev := s.lastRcv[0]
+		for k := 1; k < s.cfg.NumPlayers; k++ {
+			if s.lastRcv[k] < prev {
+				prev = s.lastRcv[k]
 			}
 		}
-		if fresh {
-			s.stats.InputsFresh += len(m.Inputs)
+		if int(m.To) > prev {
+			fresh := int(m.To) - prev
+			if fresh > len(m.Inputs) {
+				fresh = len(m.Inputs)
+			}
+			s.stats.InputsFresh += fresh
+			s.stats.InputsDup += len(m.Inputs) - fresh
+			for k := 0; k < s.cfg.NumPlayers; k++ {
+				if int(m.To) > s.lastRcv[k] {
+					s.lastRcv[k] = int(m.To)
+					s.rcvAt[k] = now
+				}
+			}
 		} else {
 			s.stats.InputsDup += len(m.Inputs)
 		}
@@ -404,10 +474,7 @@ func (s *InputSync) handleSync(p *peerState, m syncMsg) {
 		// Line 13: merge the peer's partial inputs (idempotent
 		// overwrite suppresses duplicates).
 		for i, in := range m.Inputs {
-			f := int(m.From) + i
-			if f >= s.cfg.StartFrame {
-				s.put(f, m.Sender, in)
-			}
+			s.put(int(m.From)+i, m.Sender, in)
 		}
 		// Lines 14-16.
 		if int(m.To) > s.lastRcv[m.Sender] {
@@ -422,9 +489,10 @@ func (s *InputSync) handleSync(p *peerState, m syncMsg) {
 		}
 	}
 
-	// Lines 17-19.
+	// Lines 17-19. An advanced ack may free buffered frames for reuse.
 	if int(m.Ack) > p.lastAck {
 		p.lastAck = int(m.Ack)
+		s.retire()
 	}
 }
 
@@ -507,17 +575,22 @@ func (s *InputSync) RecordLocal(f int, input uint16) {
 
 // Advance moves the delivery pointer forward without delivering (the
 // rollback baseline executes frames speculatively and never blocks on the
-// pointer). The pointer also anchors the hostile-range guard.
+// pointer). The pointer also anchors the hostile-range guard and the ring's
+// retired edge.
 func (s *InputSync) Advance(frame int) {
 	if frame > s.pointer {
 		s.pointer = frame
+		s.retire()
 	}
 }
 
 // InputAt returns the merged input currently buffered for frame f. Bits of
 // players whose inputs have not arrived read as their last-put value (zero
-// if none) — callers decide how to predict.
-func (s *InputSync) InputAt(f int) uint16 { return s.get(f) }
+// if none) — callers decide how to predict. ok is false when f is outside
+// the ring window (retired, or nothing buffered yet): the value is then the
+// sentinel 0, not an authoritative input, and callers must not treat it as
+// one.
+func (s *InputSync) InputAt(f int) (input uint16, ok bool) { return s.get(f) }
 
 // AuthoritativeThrough returns the highest frame for which every player's
 // real input is buffered.

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// manualClock is a hand-cranked vclock.Clock: time moves only when the test
+// Sleeps. It keeps protocol timing fully deterministic without the scheduler
+// machinery of vclock.Virtual.
+type manualClock struct{ t time.Time }
+
+func (c *manualClock) Now() time.Time { return c.t }
+func (c *manualClock) Sleep(d time.Duration) {
+	if d > 0 {
+		c.t = c.t.Add(d)
+	}
+}
+
+// pipeConn is a lossless in-memory conn with preallocated slots: Send copies
+// into the peer's next slot, TryRecv pops. Steady-state use is allocation
+// free, which the hot-path tests depend on.
+type pipeConn struct {
+	peer        *pipeConn
+	slots       [][]byte
+	head, count int
+}
+
+const pipeSlots = 64
+
+func newPipePair() (*pipeConn, *pipeConn) {
+	mk := func() *pipeConn {
+		c := &pipeConn{slots: make([][]byte, pipeSlots)}
+		for i := range c.slots {
+			c.slots[i] = make([]byte, 0, 4096)
+		}
+		return c
+	}
+	a, b := mk(), mk()
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+func (c *pipeConn) Send(p []byte) error {
+	q := c.peer
+	if q.count == pipeSlots {
+		return nil // queue full: drop, like UDP
+	}
+	i := (q.head + q.count) % pipeSlots
+	q.slots[i] = append(q.slots[i][:0], p...)
+	q.count++
+	return nil
+}
+
+func (c *pipeConn) TryRecv() ([]byte, bool) {
+	if c.count == 0 {
+		return nil, false
+	}
+	p := c.slots[c.head]
+	c.head = (c.head + 1) % pipeSlots
+	c.count--
+	return p, true
+}
+
+func (c *pipeConn) Close() error       { return nil }
+func (c *pipeConn) LocalAddr() string  { return "pipe" }
+func (c *pipeConn) RemoteAddr() string { return "pipe" }
+
+// TestServeJoinersFirstResendWaits: after the initial chunk stream completes,
+// the loss-recovery resend must wait a full snapResendEvery. The original
+// code never stamped lastTx during streaming, so the very next frame's
+// serveJoiners saw a zero lastTx and re-blasted the entire snapshot.
+func TestServeJoinersFirstResendWaits(t *testing.T) {
+	clk := &manualClock{t: epoch}
+	m := &fakeMachine{}
+	for i := 0; i < 100; i++ {
+		m.StepFrame(uint16(i)) // give the snapshot some bulk
+	}
+	s, err := NewSession(Config{SiteNo: 0}, clk, epoch, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinerEnd, _ := newPipePair()
+	if _, err := s.AddJoiner(Peer{Site: 2, Conn: joinerEnd}); err != nil {
+		t.Fatal(err)
+	}
+	total := len(s.joiners[2].chunks)
+	if total < 1 {
+		t.Fatal("snapshot produced no chunks")
+	}
+
+	// Stream everything (3 chunks per frame).
+	for i := 0; i < (total+2)/3; i++ {
+		s.serveJoiners()
+	}
+	if got := s.sync.Stats().SnapChunks; got != total {
+		t.Fatalf("after streaming: %d chunks sent, want exactly %d (no premature re-blast)", got, total)
+	}
+	// Same instant, next frame: nothing more should go out.
+	s.serveJoiners()
+	if got := s.sync.Stats().SnapChunks; got != total {
+		t.Fatalf("immediate re-serve sent %d chunks, want %d — resend did not wait", got, total)
+	}
+	// After the resend interval the full state goes out again.
+	clk.Sleep(snapResendEvery)
+	s.serveJoiners()
+	if got := s.sync.Stats().SnapChunks; got != 2*total {
+		t.Fatalf("after %v: %d chunks sent, want %d", snapResendEvery, got, 2*total)
+	}
+}
+
+// TestMergedStreamStatsSplitFreshDup: an observer receiving a forwarded
+// (merged) stream must split each payload into fresh vs duplicate words by
+// the frontier advance, like the player path does — not count every word of
+// an advancing message as fresh.
+func TestMergedStreamStatsSplitFreshDup(t *testing.T) {
+	clk := &manualClock{t: epoch}
+	end, _ := newPipePair()
+	s, err := NewInputSync(Config{SiteNo: 2}, clk, epoch, []Peer{{Site: 0, Conn: end}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := func(from, to int32) {
+		n := int(to - from + 1)
+		m := syncMsg{Sender: 0, Merged: true, Ack: -1, From: from, To: to, Inputs: make([]uint16, n)}
+		s.handle(s.peers[0], encodeSync(nil, m))
+	}
+	// lastRcv starts at BufFrame-1 = 5. First message advances to 10:
+	// 5 fresh words. The overlapping retransmission 6..12 advances to 12:
+	// 2 fresh, 5 duplicates.
+	send(6, 10)
+	send(6, 12)
+	st := s.Stats()
+	if st.InputsFresh != 7 || st.InputsDup != 5 {
+		t.Fatalf("fresh=%d dup=%d, want fresh=7 dup=5 (merged stream must split by frontier advance)",
+			st.InputsFresh, st.InputsDup)
+	}
+	if st.MalformedRcvd != 0 {
+		t.Fatalf("MalformedRcvd = %d", st.MalformedRcvd)
+	}
+}
+
+// TestMaxFrameAheadTracksLiveLag: the hostile-range guard must scale with the
+// live lag, not the configured BufFrame — an adaptive-lag session that raised
+// the lag to 30 legitimately sends frames ~30 ahead, which the old
+// cfg.BufFrame-based bound misclassified as hostile and dropped.
+func TestMaxFrameAheadTracksLiveLag(t *testing.T) {
+	clk := &manualClock{t: epoch}
+	end, _ := newPipePair()
+	s, err := NewInputSync(Config{SiteNo: 0}, clk, epoch, []Peer{{Site: 1, Conn: end}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetLag(30)
+	// Bound with live lag 30: pointer 0 + 2*30 + 512 = 572. The old bound
+	// (BufFrame 6) was 524, so frame 560 exercises exactly the regression.
+	m := syncMsg{Sender: 1, Ack: -1, From: 545, To: 560, Inputs: make([]uint16, 16)}
+	s.handle(s.peers[1], encodeSync(nil, m))
+	if got := s.LastRcv(1); got != 560 {
+		t.Fatalf("LastRcv(1) = %d, want 560 — in-lag frame rejected by the stale bound", got)
+	}
+	if got := s.Stats().MalformedRcvd; got != 0 {
+		t.Fatalf("MalformedRcvd = %d, want 0", got)
+	}
+	// Beyond the live-lag bound is still hostile.
+	m = syncMsg{Sender: 1, Ack: -1, From: 573, To: 580, Inputs: make([]uint16, 8)}
+	s.handle(s.peers[1], encodeSync(nil, m))
+	if got := s.LastRcv(1); got != 560 {
+		t.Fatalf("hostile frame advanced LastRcv to %d", got)
+	}
+	if got := s.Stats().MalformedRcvd; got != 1 {
+		t.Fatalf("MalformedRcvd = %d, want 1", got)
+	}
+}
+
+// TestFirstExchangeYieldsRTTSample: an echo whose timestamp is exactly 0 µs
+// (stamped at the epoch) and whose hold is 0 µs is a legitimate RTT sample.
+// The old sentinel `EchoTime != 0 || EchoDelay != 0` discarded it; the
+// explicit have-echo wire bit must not.
+func TestFirstExchangeYieldsRTTSample(t *testing.T) {
+	clk := &manualClock{t: epoch} // microsSince(epoch, now) == 0
+	c0, c1 := newPipePair()
+	s0, err := NewInputSync(Config{SiteNo: 0}, clk, epoch, []Peer{{Site: 1, Conn: c0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := NewInputSync(Config{SiteNo: 1}, clk, epoch, []Peer{{Site: 0, Conn: c1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0.FlushAcks() // SendTime = 0 µs
+	s1.Pump()      // receives it; echo state: time 0, held 0
+	s1.FlushAcks() // echoes immediately: EchoTime = 0, EchoDelay = 0
+	clk.Sleep(10 * time.Millisecond)
+	s0.Pump()
+	if got := s0.RTTTo(1); got != 10*time.Millisecond {
+		t.Fatalf("RTTTo(1) = %v, want 10ms — the all-zero echo was discarded", got)
+	}
+}

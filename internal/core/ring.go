@@ -1,0 +1,103 @@
+package core
+
+// inputRing is the constant-memory replacement for the paper's "unlimited
+// array" IBuf (Algorithm 2). It stores merged input words for a sliding
+// window of frames [lo, hi): lo is the retired edge — every frame below it
+// has been both delivered locally and acknowledged by every peer that might
+// still need it retransmitted — and hi is one past the highest frame
+// written so far.
+//
+// Storage is a power-of-two circular buffer indexed by frame & (len-1), so
+// a frame keeps the same slot until it is retired and the window can slide
+// forever without copying. The buffer grows (doubling) only while the live
+// window outgrows it; in steady state a session runs in O(lag + unacked
+// backlog) memory regardless of how many frames it has executed.
+//
+// Invariants:
+//
+//	lo <= hi, hi-lo <= len(buf), len(buf) is a power of two
+//	slots outside [lo, hi) are zero (so a slot is clean when reused)
+type inputRing struct {
+	buf []uint16
+	lo  int // lowest retained frame
+	hi  int // one past the highest written frame
+}
+
+// ringInitialCap comfortably covers the steady-state window of a default
+// session (lag 6, 20 ms send pacing) without ever growing.
+const ringInitialCap = 256
+
+func newInputRing(start int) inputRing {
+	return inputRing{buf: make([]uint16, ringInitialCap), lo: start, hi: start}
+}
+
+// window returns the number of live frames.
+func (r *inputRing) window() int { return r.hi - r.lo }
+
+// get returns the merged word for frame f. ok is false outside [lo, hi):
+// either the frame was already retired or nothing has been buffered for it
+// yet — callers must not mistake that for an authoritative zero input.
+func (r *inputRing) get(f int) (word uint16, ok bool) {
+	if f < r.lo || f >= r.hi {
+		return 0, false
+	}
+	return r.buf[f&(len(r.buf)-1)], true
+}
+
+// merge overwrites the mask bits of frame f with input&mask, extending the
+// window (zero-filling any skipped frames) as needed. Writes below the
+// retired edge are dropped — they are retransmissions of frames every
+// consumer is already done with — and merge reports whether the write
+// landed.
+func (r *inputRing) merge(f int, mask, input uint16) bool {
+	if f < r.lo {
+		return false
+	}
+	if f >= r.hi {
+		if f+1-r.lo > len(r.buf) {
+			r.grow(f + 1 - r.lo)
+		}
+		// Slots between the old hi and f are zero already (cleared on
+		// retire, or untouched since allocation/grow).
+		r.hi = f + 1
+	}
+	slot := &r.buf[f&(len(r.buf)-1)]
+	*slot = *slot&^mask | input&mask
+	return true
+}
+
+// retire discards every frame below edge, zeroing the freed slots so they
+// are clean when the window wraps onto them. The retired edge never moves
+// backward; retiring past hi empties the window and repositions it.
+func (r *inputRing) retire(edge int) {
+	if edge <= r.lo {
+		return
+	}
+	clearTo := edge
+	if clearTo > r.hi {
+		clearTo = r.hi
+	}
+	mask := len(r.buf) - 1
+	for f := r.lo; f < clearTo; f++ {
+		r.buf[f&mask] = 0
+	}
+	r.lo = edge
+	if r.hi < edge {
+		r.hi = edge
+	}
+}
+
+// grow reallocates to the next power of two >= need and re-places the live
+// window (slot positions depend on the capacity mask).
+func (r *inputRing) grow(need int) {
+	newCap := len(r.buf)
+	for newCap < need {
+		newCap *= 2
+	}
+	buf := make([]uint16, newCap)
+	oldMask, newMask := len(r.buf)-1, newCap-1
+	for f := r.lo; f < r.hi; f++ {
+		buf[f&newMask] = r.buf[f&oldMask]
+	}
+	r.buf = buf
+}

@@ -1,0 +1,119 @@
+package core
+
+import "testing"
+
+func TestRingMergeGetBasics(t *testing.T) {
+	r := newInputRing(0)
+	if _, ok := r.get(0); ok {
+		t.Fatal("empty ring reported a buffered frame")
+	}
+	if !r.merge(3, 0x00FF, 0x1234) {
+		t.Fatal("in-window merge rejected")
+	}
+	if got, ok := r.get(3); !ok || got != 0x0034 {
+		t.Fatalf("get(3) = %#x,%v; want 0x0034,true", got, ok)
+	}
+	// Frames skipped by the extension read as written zeros (in window).
+	if got, ok := r.get(1); !ok || got != 0 {
+		t.Fatalf("get(1) = %#x,%v; want 0,true", got, ok)
+	}
+	// Second player's bits merge without clobbering the first's.
+	r.merge(3, 0xFF00, 0xAB00)
+	if got, _ := r.get(3); got != 0xAB34 {
+		t.Fatalf("merged word = %#x, want 0xAB34", got)
+	}
+	if r.window() != 4 {
+		t.Fatalf("window = %d, want 4", r.window())
+	}
+}
+
+func TestRingRetire(t *testing.T) {
+	r := newInputRing(0)
+	for f := 0; f < 10; f++ {
+		r.merge(f, 0xFFFF, uint16(f+1))
+	}
+	r.retire(4)
+	if _, ok := r.get(3); ok {
+		t.Fatal("retired frame still readable")
+	}
+	if got, ok := r.get(4); !ok || got != 5 {
+		t.Fatalf("get(4) = %d,%v; want 5,true", got, ok)
+	}
+	// Writes below the retired edge are dropped.
+	if r.merge(2, 0xFFFF, 99) {
+		t.Fatal("merge below the retired edge accepted")
+	}
+	// Retiring backward is a no-op.
+	r.retire(1)
+	if r.lo != 4 {
+		t.Fatalf("retire moved the edge backward to %d", r.lo)
+	}
+	// Retiring past hi empties and repositions the window.
+	r.retire(20)
+	if r.lo != 20 || r.hi != 20 || r.window() != 0 {
+		t.Fatalf("retire past hi: lo=%d hi=%d", r.lo, r.hi)
+	}
+	if !r.merge(20, 0xFFFF, 7) {
+		t.Fatal("merge at the repositioned window rejected")
+	}
+}
+
+// TestRingSlidesForeverWithoutGrowing is the heart of the constant-memory
+// claim: as long as the window stays small the capacity never changes, no
+// matter how many frames pass through.
+func TestRingSlidesForeverWithoutGrowing(t *testing.T) {
+	r := newInputRing(0)
+	capBefore := len(r.buf)
+	for f := 0; f < 1_000_000; f++ {
+		r.merge(f, 0xFFFF, uint16(f))
+		if f >= 16 {
+			r.retire(f - 16)
+		}
+	}
+	if len(r.buf) != capBefore {
+		t.Fatalf("capacity grew from %d to %d despite a bounded window", capBefore, len(r.buf))
+	}
+	// Spot-check content integrity after a million slides.
+	for f := 1_000_000 - 16; f < 1_000_000; f++ {
+		if got, ok := r.get(f); !ok || got != uint16(f) {
+			t.Fatalf("get(%d) = %d,%v after sliding", f, got, ok)
+		}
+	}
+}
+
+func TestRingGrowthPreservesWindow(t *testing.T) {
+	r := newInputRing(0)
+	// Force growth well past the initial capacity with a live window.
+	n := ringInitialCap*4 + 7
+	for f := 0; f < n; f++ {
+		r.merge(f, 0xFFFF, uint16(f^0x5A5A))
+	}
+	for f := 0; f < n; f++ {
+		if got, ok := r.get(f); !ok || got != uint16(f^0x5A5A) {
+			t.Fatalf("after growth: get(%d) = %#x,%v", f, got, ok)
+		}
+	}
+	if len(r.buf)&(len(r.buf)-1) != 0 {
+		t.Fatalf("capacity %d is not a power of two", len(r.buf))
+	}
+}
+
+// TestRingSlotsCleanAfterRetire: a retired slot must read back zero when the
+// window wraps onto it, or a stale input word would leak into a future frame.
+func TestRingSlotsCleanAfterRetire(t *testing.T) {
+	r := newInputRing(0)
+	span := len(r.buf)
+	for f := 0; f < span; f++ {
+		r.merge(f, 0xFFFF, 0xDEAD)
+	}
+	r.retire(span)
+	// The next lap writes only one player's byte; the other byte must be
+	// zero, not a residue of 0xDEAD.
+	for f := span; f < 2*span; f++ {
+		r.merge(f, 0x00FF, 0x0011)
+		if got, _ := r.get(f); got != 0x0011 {
+			t.Fatalf("frame %d reused a dirty slot: %#x", f, got)
+		}
+		r.retire(f)
+	}
+}

@@ -81,6 +81,10 @@ func NewRollbackSession(cfg Config, clock vclock.Clock, epoch time.Time, machine
 	if err != nil {
 		return nil, err
 	}
+	// Unlike lockstep, rollback re-reads delivered frames while
+	// reconciling; keep everything above the confirmation frontier
+	// buffered (reconcile raises the floor as frames settle).
+	sync.SetRetainFloor(-1)
 	return &RollbackSession{
 		cfg:    sync.Config(),
 		window: window,
@@ -141,16 +145,21 @@ func (s *RollbackSession) Stats() RollbackStats { return s.stats }
 func (s *RollbackSession) Frame() int { return s.frame }
 
 // bestInput merges, for frame f, every authoritative input with the
-// repeat-last prediction for players whose input has not arrived.
+// repeat-last prediction for players whose input has not arrived. The sync
+// buffer's retain floor tracks the confirmation frontier, so every frame
+// read here is still in the ring window; an out-of-window read (ok=false)
+// would mean the prediction basis was lost and degrades to predicting idle.
 func (s *RollbackSession) bestInput(f int) (input uint16, predicted bool) {
 	for k := 0; k < s.cfg.NumPlayers; k++ {
 		mask := s.cfg.Masks[k]
 		known := s.sync.LastRcv(k)
 		switch {
 		case known >= f:
-			input |= s.sync.InputAt(f) & mask
+			in, _ := s.sync.InputAt(f)
+			input |= in & mask
 		case known >= 0:
-			input |= s.sync.InputAt(known) & mask
+			in, _ := s.sync.InputAt(known)
+			input |= in & mask
 			predicted = true
 		default:
 			predicted = true // nothing known: predict idle
@@ -179,6 +188,11 @@ func (s *RollbackSession) reconcile() {
 	if s.confirmed < limit {
 		s.confirmed = limit
 	}
+	// Frames below the confirmation frontier are settled for good;
+	// release them from the input ring. bestInput may still read frame
+	// `confirmed` itself (a player's freshest input as prediction basis),
+	// so the floor sits at confirmed, not confirmed+1.
+	s.sync.SetRetainFloor(s.confirmed)
 	s.prune()
 }
 

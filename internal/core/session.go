@@ -443,26 +443,27 @@ func (s *Session) serveJoiners() {
 			delete(s.joiners, site)
 			continue
 		}
-		if now.Sub(j.lastTx) < snapResendEvery && j.next >= len(j.chunks) {
-			continue
-		}
-		// Send up to 3 chunks per frame to bound burstiness.
-		for i := 0; i < 3 && j.next < len(j.chunks); i++ {
-			_ = j.peer.Conn.Send(j.chunks[j.next])
-			j.next++
-			s.sync.stats.SnapChunks++
-		}
-		if j.next >= len(j.chunks) {
-			// All sent once; watch for the ack, re-send the tail
-			// periodically in case of loss.
-			if now.Sub(j.lastTx) >= snapResendEvery {
-				for _, c := range j.chunks {
-					_ = j.peer.Conn.Send(c)
-					s.sync.stats.SnapChunks++
-				}
+		if j.next < len(j.chunks) {
+			// Initial streaming: up to 3 chunks per frame to bound
+			// burstiness. lastTx advances with every burst, so once
+			// the final chunk goes out the loss-recovery resend below
+			// waits a full snapResendEvery instead of re-blasting the
+			// whole chunk list on the same frame.
+			for i := 0; i < 3 && j.next < len(j.chunks); i++ {
+				_ = j.peer.Conn.Send(j.chunks[j.next])
+				j.next++
+				s.sync.stats.SnapChunks++
 			}
+			j.lastTx = now
+		} else if now.Sub(j.lastTx) >= snapResendEvery {
+			// All sent at least once but no ack yet: assume loss and
+			// re-send the full state, paced by snapResendEvery.
+			for _, c := range j.chunks {
+				_ = j.peer.Conn.Send(c)
+				s.sync.stats.SnapChunks++
+			}
+			j.lastTx = now
 		}
-		j.lastTx = now
 		// The ack rides on the normal receive path; check for it here
 		// because InputSync ignores snapshot traffic.
 		for {

@@ -18,8 +18,17 @@ import (
 //	10     4     to         — sd[2]: last frame of the payload
 //	14     4     sendTime   — sender clock, µs mod 2^32
 //	18     4     echoTime   — freshest sendTime received from the peer
-//	22     4     echoDelay  — µs the echo was held before sending
+//	22     4     echoDelay  — 1 + µs the echo was held before sending;
+//	              0 means "no echo yet". The +1 bias makes the have-echo
+//	              state explicit on the wire: a message stamped exactly 0 µs
+//	              after the epoch and echoed with zero hold is still a
+//	              valid RTT sample, not a missing one.
 //	26     2n    inputs     — the sender's partial inputs for from..to
+//
+// The payload length is fully determined by from/to and must match the
+// datagram size exactly; ranges longer than maxInputsPerMsg are rejected
+// outright (a correct sender never produces them), so a hostile datagram
+// can never make the receiver buffer more than one bounded payload.
 //
 // Handshake (session control, §3.2):
 //
@@ -57,6 +66,7 @@ type syncMsg struct {
 	SendTime  uint32
 	EchoTime  uint32
 	EchoDelay uint32
+	HasEcho   bool // EchoTime/EchoDelay carry a real echo (wire: echoDelay != 0)
 	Inputs    []uint16
 }
 
@@ -77,7 +87,11 @@ func encodeSync(buf []byte, m syncMsg) []byte {
 	binary.LittleEndian.PutUint32(buf[10:], uint32(m.To))
 	binary.LittleEndian.PutUint32(buf[14:], m.SendTime)
 	binary.LittleEndian.PutUint32(buf[18:], m.EchoTime)
-	binary.LittleEndian.PutUint32(buf[22:], m.EchoDelay)
+	delay := uint32(0)
+	if m.HasEcho {
+		delay = m.EchoDelay + 1 // biased; see the wire-format comment
+	}
+	binary.LittleEndian.PutUint32(buf[22:], delay)
 	for i, in := range m.Inputs {
 		binary.LittleEndian.PutUint16(buf[syncHeaderLen+2*i:], in)
 	}
@@ -86,29 +100,48 @@ func encodeSync(buf []byte, m syncMsg) []byte {
 
 // decodeSync parses a sync message.
 func decodeSync(p []byte) (syncMsg, error) {
+	return decodeSyncInto(p, nil)
+}
+
+// decodeSyncInto parses a sync message, decoding the input payload into
+// scratch when its capacity suffices — the hot receive path hands in a
+// per-connection scratch slice so steady-state decoding never allocates.
+// The returned Inputs alias scratch; the caller owns both.
+func decodeSyncInto(p []byte, scratch []uint16) (syncMsg, error) {
 	if len(p) < syncHeaderLen || p[0] != msgSync {
 		return syncMsg{}, fmt.Errorf("core: malformed sync message (%d bytes)", len(p))
 	}
 	m := syncMsg{
-		Sender:    int(p[1] & 0x7F),
-		Merged:    p[1]&0x80 != 0,
-		Ack:       int32(binary.LittleEndian.Uint32(p[2:])),
-		From:      int32(binary.LittleEndian.Uint32(p[6:])),
-		To:        int32(binary.LittleEndian.Uint32(p[10:])),
-		SendTime:  binary.LittleEndian.Uint32(p[14:]),
-		EchoTime:  binary.LittleEndian.Uint32(p[18:]),
-		EchoDelay: binary.LittleEndian.Uint32(p[22:]),
+		Sender:   int(p[1] & 0x7F),
+		Merged:   p[1]&0x80 != 0,
+		Ack:      int32(binary.LittleEndian.Uint32(p[2:])),
+		From:     int32(binary.LittleEndian.Uint32(p[6:])),
+		To:       int32(binary.LittleEndian.Uint32(p[10:])),
+		SendTime: binary.LittleEndian.Uint32(p[14:]),
+		EchoTime: binary.LittleEndian.Uint32(p[18:]),
 	}
-	want := int(m.To - m.From + 1)
+	if delay := binary.LittleEndian.Uint32(p[22:]); delay != 0 {
+		m.HasEcho = true
+		m.EchoDelay = delay - 1
+	}
+	// 64-bit arithmetic: a hostile from/to pair must not wrap int32 into a
+	// small "valid" payload length.
+	want := int64(m.To) - int64(m.From) + 1
 	if want < 0 {
 		want = 0
 	}
-	if len(p) != syncHeaderLen+2*want {
+	if want > maxInputsPerMsg {
+		return syncMsg{}, fmt.Errorf("core: sync range [%d,%d] exceeds %d inputs", m.From, m.To, maxInputsPerMsg)
+	}
+	if int64(len(p)) != syncHeaderLen+2*want {
 		return syncMsg{}, fmt.Errorf("core: sync payload length %d does not match range [%d,%d]",
 			len(p)-syncHeaderLen, m.From, m.To)
 	}
 	if want > 0 {
-		m.Inputs = make([]uint16, want)
+		if int64(cap(scratch)) < want {
+			scratch = make([]uint16, want)
+		}
+		m.Inputs = scratch[:want]
 		for i := range m.Inputs {
 			m.Inputs[i] = binary.LittleEndian.Uint16(p[syncHeaderLen+2*i:])
 		}

@@ -15,6 +15,7 @@ func TestSyncMsgRoundTrip(t *testing.T) {
 		SendTime:  99999,
 		EchoTime:  88888,
 		EchoDelay: 777,
+		HasEcho:   true,
 		Inputs:    []uint16{0x00FF, 0xAB00, 0x1234, 0xFFFF},
 	}
 	got, err := decodeSync(encodeSync(nil, m))
@@ -22,7 +23,8 @@ func TestSyncMsgRoundTrip(t *testing.T) {
 		t.Fatalf("decode: %v", err)
 	}
 	if got.Sender != m.Sender || got.Ack != m.Ack || got.From != m.From || got.To != m.To ||
-		got.SendTime != m.SendTime || got.EchoTime != m.EchoTime || got.EchoDelay != m.EchoDelay {
+		got.SendTime != m.SendTime || got.EchoTime != m.EchoTime || got.EchoDelay != m.EchoDelay ||
+		got.HasEcho != m.HasEcho {
 		t.Errorf("header mismatch: %+v vs %+v", got, m)
 	}
 	if len(got.Inputs) != len(m.Inputs) {

@@ -30,6 +30,11 @@ func TestLowLatencyRunsAtSixtyFPS(t *testing.T) {
 		if sr.Frames != 600 {
 			t.Errorf("site %d executed %d frames, want 600", site, sr.Frames)
 		}
+		// The input ring retires delivered-and-acked frames, so even a
+		// full run keeps only a small sliding window buffered.
+		if sr.Stats.BufPeak <= 0 || sr.Stats.BufPeak >= 64 {
+			t.Errorf("site %d input-window peak = %d frames, want within (0, 64)", site, sr.Stats.BufPeak)
+		}
 	}
 	if res.Sync.AbsMean > 10 {
 		t.Errorf("cross-site sync = %.2fms, want < 10ms at RTT 40ms", res.Sync.AbsMean)
