@@ -1,9 +1,11 @@
 GO ?= go
 
-.PHONY: verify verify-race fuzz bench bench-hotpath
+.PHONY: verify verify-race chaos fuzz bench bench-hotpath
 
-# Tier 1: the baseline gate — everything builds, every test passes.
-verify:
+# Tier 1: the baseline gate — everything builds, every test passes
+# (including the default chaos soaks), then the race detector and the
+# long seed-sweeping soak.
+verify: verify-race chaos
 	$(GO) build ./...
 	$(GO) test ./...
 
@@ -11,6 +13,15 @@ verify:
 verify-race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# The long chaos soak: every scenario across CHAOS_SEEDS seeds, each run
+# twice to prove per-phase stats are bit-identical, 10k frames per run,
+# all in virtual time (see internal/chaos).
+CHAOS_SEEDS ?= 5
+CHAOS_FRAMES ?= 10000
+chaos:
+	$(GO) test ./internal/chaos/ -run 'TestSoak' -count 1 \
+		-chaos.seeds $(CHAOS_SEEDS) -chaos.frames $(CHAOS_FRAMES) -v
 
 # Wire-format fuzzers (coverage-guided; seeds always run under `make verify`).
 FUZZTIME ?= 30s

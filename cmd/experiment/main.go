@@ -16,6 +16,7 @@
 //	experiment -series bandwidth            # uplink cost vs send pacing
 //	experiment -series multisite            # observers (journal extension)
 //	experiment -series seeds                # seed-sensitivity spread
+//	experiment -series chaos                # deterministic fault-injection soak
 //	experiment -series all                  # everything
 //
 // -frames, -seed, -game and -procdelay override the defaults; -quick trims
@@ -124,6 +125,7 @@ func main() {
 	run("bandwidth", bandwidth)
 	run("multisite", multisite)
 	run("seeds", seedSensitivity)
+	run("chaos", chaosSeries)
 }
 
 var (

@@ -1,0 +1,474 @@
+// Package chaos is a deterministic fault-injection harness for the sync
+// stack. It composes time-scheduled fault phases — Gilbert-Elliott loss
+// bursts, full or asymmetric partitions, bit-flip corruption, duplicate and
+// reorder storms, clock-rate skew between sites — on top of internal/netem
+// and internal/simnet, runs a complete two-site internal/core session
+// through them in virtual time, and records enough per-phase state to assert
+// a reusable invariant suite afterwards (see Report.Verify):
+//
+//   - state-hash agreement at every matched frame
+//   - liveness: sites keep executing frames through phases that promise
+//     progress (and after a partition heals), or the run fails loudly via
+//     SyncInput's wait timeout
+//   - bounded memory: the input ring window and the ARQ unacked /
+//     out-of-order buffers stay within their designed bounds in every phase
+//   - ack and retransmission sanity
+//
+// Everything — PRNGs, the event clock, phase boundaries — is seeded and
+// virtual, so a scenario run twice produces bit-identical reports; a soak
+// that passes once can never flake.
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"retrolock/internal/core"
+	"retrolock/internal/harness"
+	"retrolock/internal/netem"
+	"retrolock/internal/rom/games"
+	"retrolock/internal/simnet"
+	"retrolock/internal/transport"
+	"retrolock/internal/vclock"
+	"retrolock/internal/vm"
+)
+
+// Epoch anchors every chaos run's virtual clock (the date of the paper's
+// camera-ready, like the experiment harness).
+var Epoch = time.Date(2009, 6, 22, 0, 0, 0, 0, time.UTC)
+
+// Phase is one timed segment of a scenario's fault schedule.
+type Phase struct {
+	// Name labels the phase in reports and failures.
+	Name string
+
+	// Duration is the phase's length in virtual time. The last phase of a
+	// scenario runs until the sessions finish regardless of its Duration.
+	Duration time.Duration
+
+	// AB and BA shape the two link directions (site0->site1 and
+	// site1->site0) for the duration of the phase. nil means a clean link
+	// (simnet's minimum delay). The Seed field is overwritten by the
+	// scheduler so each phase gets an independent, reproducible PRNG.
+	AB, BA *netem.Config
+
+	// PartitionAB / PartitionBA black-hole the respective direction for
+	// the whole phase, overriding AB/BA. Setting one of them models an
+	// asymmetric partition; both, a full one.
+	PartitionAB, PartitionBA bool
+
+	// ClockRate skews site 1's clock relative to real (virtual) time for
+	// the duration of the phase: 1.02 runs it 2% fast, 0.98 slow. Zero
+	// means 1.0 (no skew). Site 0 always runs on the true clock, so the
+	// skew is a rate difference between the sites.
+	ClockRate float64
+
+	// WantProgress asserts (in Verify) that both sites executed at least
+	// one frame during the phase. Set it on calm and healed phases; leave
+	// it off for partitions, where lockstep is expected to stall.
+	WantProgress bool
+}
+
+// Scenario is a complete chaos experiment: a session configuration plus a
+// fault schedule.
+type Scenario struct {
+	Name string
+	// Seed drives every PRNG in the run (per-phase link emulators and the
+	// synthetic player inputs).
+	Seed int64
+	// Frames is how many frames each site executes (default 3600).
+	Frames int
+	// Game selects the ROM (default "pong").
+	Game string
+	// BufFrame overrides the local lag (0 = the paper's default 6).
+	BufFrame int
+	// WaitTimeout bounds each SyncInput wait (default 60s virtual); a
+	// partition outlasting it fails the run loudly instead of hanging.
+	WaitTimeout time.Duration
+	// EmulationTime is the virtual CPU cost of one frame (default 2 ms).
+	EmulationTime time.Duration
+	// ARQ routes the session traffic through the reliable in-order
+	// transport (transport.ARQConn) instead of raw datagrams.
+	ARQ bool
+	// ARQRto overrides the ARQ retransmission timeout (0 = default).
+	ARQRto time.Duration
+	// Phases is the fault schedule. Empty means one clean 10 s phase.
+	Phases []Phase
+}
+
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Frames == 0 {
+		sc.Frames = 3600
+	}
+	if sc.Game == "" {
+		sc.Game = "pong"
+	}
+	if sc.WaitTimeout == 0 {
+		sc.WaitTimeout = 60 * time.Second
+	}
+	if sc.EmulationTime == 0 {
+		sc.EmulationTime = 2 * time.Millisecond
+	}
+	if len(sc.Phases) == 0 {
+		sc.Phases = []Phase{{Name: "clean", Duration: 10 * time.Second, WantProgress: true}}
+	}
+	return sc
+}
+
+// LinkPlan tracks the per-phase link emulators the scheduler installed, so
+// callers can read each phase's traffic counters after the run.
+type LinkPlan struct {
+	// AB[i] / BA[i] are the emulators that shaped each direction during
+	// phase i — nil if the run ended before the phase was entered.
+	AB, BA []*netem.Emulator
+}
+
+// linkConfig resolves one direction of a phase to a concrete netem config.
+func linkConfig(pc *netem.Config, partition bool, seed int64) netem.Config {
+	var c netem.Config
+	if pc != nil {
+		c = *pc
+	}
+	if partition {
+		// A partition is total loss: every packet consults the PRNG and
+		// drops, so the schedule stays deterministic and the emulator's
+		// counters record how much traffic the outage ate.
+		c.Loss = 1
+		c.BurstLoss = false
+	}
+	c.Seed = seed
+	return c
+}
+
+// InstallPhases drives a fault schedule on the a<->b link: phase 0 is
+// installed immediately and each later phase at its cumulative offset, with
+// fresh per-phase emulators seeded from seed (so a phase's counters are
+// exactly that phase's traffic). onEnter, when non-nil, runs at each phase
+// entry — synchronously for phase 0 (before any actor starts), and from a
+// clock callback (all actors parked) for the rest — making it a safe place
+// to snapshot cross-actor state.
+//
+// Phases scheduled past the end of the run (all actors gone) never fire;
+// their LinkPlan slots stay nil.
+func InstallPhases(v *vclock.Virtual, n *simnet.Network, a, b string, seed int64, phases []Phase, onEnter func(i int)) *LinkPlan {
+	lp := &LinkPlan{
+		AB: make([]*netem.Emulator, len(phases)),
+		BA: make([]*netem.Emulator, len(phases)),
+	}
+	install := func(i int) {
+		p := phases[i]
+		base := seed + 1000*int64(i+1)
+		lp.AB[i] = netem.New(linkConfig(p.AB, p.PartitionAB, base))
+		lp.BA[i] = netem.New(linkConfig(p.BA, p.PartitionBA, base+500))
+		n.SetLink(a, b, lp.AB[i])
+		n.SetLink(b, a, lp.BA[i])
+		if onEnter != nil {
+			onEnter(i)
+		}
+	}
+	install(0)
+	cum := time.Duration(0)
+	for i := 1; i < len(phases); i++ {
+		cum += phases[i-1].Duration
+		i := i
+		v.ScheduleAfter(cum, func() { install(i) })
+	}
+	return lp
+}
+
+// LinkStats is one direction's traffic during one phase.
+type LinkStats struct {
+	Planned, Dropped, Duplicated, Reordered, Corrupted int
+}
+
+func linkStats(e *netem.Emulator) LinkStats {
+	if e == nil {
+		return LinkStats{}
+	}
+	p, d, dup, r := e.Stats()
+	return LinkStats{Planned: p, Dropped: d, Duplicated: dup, Reordered: r, Corrupted: e.Corrupted()}
+}
+
+// SitePhase is one site's activity during one phase. Message and frame
+// fields are deltas over the phase; BufPeak/Unacked/OOO are gauges sampled
+// at the phase's end.
+type SitePhase struct {
+	Frames     int
+	FirstFrame time.Duration // first frame's offset from phase start; -1 if none ran
+
+	MsgsSent, MsgsRcvd     int
+	InputsFresh, InputsDup int
+	Waits                  int
+	ChecksumDiscarded      int
+	Retransmissions        int // ARQ mode only
+
+	BufPeak      int // input-ring window high-water mark so far
+	Unacked, OOO int // ARQ buffer gauges at phase end
+}
+
+// PhaseReport is everything recorded about one phase of a run.
+type PhaseReport struct {
+	Name       string
+	Entered    bool // false when the run finished before the phase began
+	Start, End time.Duration
+	AB, BA     LinkStats
+	Sites      [2]SitePhase
+}
+
+// Report is the outcome of one chaos run.
+type Report struct {
+	Spec    Scenario
+	Lag     int // resolved local lag (frames)
+	Elapsed time.Duration
+	Phases  []PhaseReport
+
+	Frames        [2]int
+	FinalHashes   [2]uint64
+	Converged     bool
+	MismatchFrame int // first diverging frame, -1 when converged
+
+	AllAcked          [2]bool
+	Sync              [2]core.Stats
+	ARQ               [2]transport.ARQStats
+	ChecksumDiscarded [2]int
+}
+
+// snapshot is the cumulative cross-site state at one phase boundary.
+type snapshot struct {
+	at      time.Time
+	entered bool
+	sync    [2]core.Stats
+	arq     [2]transport.ARQStats
+	disc    [2]int
+}
+
+// recorder attributes executed frames to the phase they ran in. Both site
+// actors call frame concurrently, so it locks; the fields each site touches
+// are its own, keeping the result independent of same-instant actor order.
+type recorder struct {
+	mu         sync.Mutex
+	phase      int
+	phaseStart time.Time
+	frames     [][2]int
+	firstAt    [][2]time.Duration
+}
+
+func newRecorder(phases int) *recorder {
+	r := &recorder{
+		frames:  make([][2]int, phases),
+		firstAt: make([][2]time.Duration, phases),
+	}
+	for i := range r.firstAt {
+		r.firstAt[i] = [2]time.Duration{-1, -1}
+	}
+	return r
+}
+
+func (r *recorder) enter(i int, now time.Time) {
+	r.mu.Lock()
+	r.phase = i
+	r.phaseStart = now
+	r.mu.Unlock()
+}
+
+func (r *recorder) frame(site int, now time.Time) {
+	r.mu.Lock()
+	p := r.phase
+	if r.firstAt[p][site] < 0 {
+		r.firstAt[p][site] = now.Sub(r.phaseStart)
+	}
+	r.frames[p][site]++
+	r.mu.Unlock()
+}
+
+// costedMachine adds the configured per-frame emulation cost, on the site's
+// own (possibly skewed) clock.
+type costedMachine struct {
+	*vm.Console
+	clock vclock.Clock
+	cost  time.Duration
+}
+
+func (m *costedMachine) StepFrame(input uint16) {
+	if m.cost > 0 {
+		m.clock.Sleep(m.cost)
+	}
+	m.Console.StepFrame(input)
+}
+
+// Run executes one chaos scenario and returns its report. Errors surface
+// loudly: a partition that outlasts WaitTimeout, a handshake that cannot
+// complete, or any session failure aborts the run with the failing site and
+// the phase it died in.
+func Run(sc Scenario) (*Report, error) {
+	sc = sc.withDefaults()
+	v := vclock.NewVirtual(Epoch)
+	n := simnet.New(v)
+
+	raw0, raw1, err := transport.SimPair(n, "site0", "site1")
+	if err != nil {
+		return nil, err
+	}
+	// Every run models UDP's end-to-end checksum, so corruption phases
+	// behave as loss to the protocol instead of silently diverging the
+	// replicas (a single flipped bit in a sync message would otherwise be
+	// merged as if it were the peer's real input).
+	cks := [2]*transport.ChecksumConn{transport.NewChecksum(raw0), transport.NewChecksum(raw1)}
+
+	skew := NewSkew(v, 1)
+	clocks := [2]vclock.Clock{v, skew}
+	conns := [2]transport.Conn{cks[0], cks[1]}
+	var arqs [2]*transport.ARQConn
+	if sc.ARQ {
+		for i := range arqs {
+			arqs[i] = transport.NewARQ(cks[i], clocks[i], sc.ARQRto)
+			conns[i] = arqs[i]
+		}
+	}
+
+	game, err := games.Load(sc.Game)
+	if err != nil {
+		return nil, err
+	}
+	var sessions [2]*core.Session
+	var machines [2]*costedMachine
+	for i := 0; i < 2; i++ {
+		console, err := game.Boot()
+		if err != nil {
+			return nil, err
+		}
+		machines[i] = &costedMachine{Console: console, clock: clocks[i], cost: sc.EmulationTime}
+		cfg := core.Config{
+			SiteNo:      i,
+			NumPlayers:  2,
+			BufFrame:    sc.BufFrame,
+			WaitTimeout: sc.WaitTimeout,
+		}
+		peers := []core.Peer{{Site: 1 - i, Conn: conns[i]}}
+		sessions[i], err = core.NewSession(cfg, clocks[i], clocks[i].Now(), machines[i], peers)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	nph := len(sc.Phases)
+	snaps := make([]snapshot, nph+1)
+	rec := newRecorder(nph)
+	take := func() snapshot {
+		s := snapshot{at: v.Now(), entered: true}
+		for i := 0; i < 2; i++ {
+			s.sync[i] = sessions[i].Sync().Stats()
+			s.disc[i] = cks[i].Discarded()
+			if arqs[i] != nil {
+				s.arq[i] = arqs[i].Stats()
+			}
+		}
+		return s
+	}
+	onEnter := func(i int) {
+		snaps[i] = take()
+		rec.enter(i, v.Now())
+		skew.SetRate(sc.Phases[i].ClockRate)
+	}
+	lp := InstallPhases(v, n, "site0", "site1", sc.Seed, sc.Phases, onEnter)
+
+	start := v.Now()
+	var hashes [2][]uint64
+	var errs [2]error
+	var done [2]<-chan struct{}
+	for site := 0; site < 2; site++ {
+		site := site
+		hashes[site] = make([]uint64, 0, sc.Frames)
+		done[site] = v.Go(func() {
+			if err := sessions[site].Handshake(10 * time.Second); err != nil {
+				errs[site] = err
+				return
+			}
+			errs[site] = sessions[site].RunFrames(sc.Frames,
+				func(f int) uint16 { return harness.PlayerInput(sc.Seed, site, f) },
+				func(fi core.FrameInfo) {
+					hashes[site] = append(hashes[site], fi.Hash)
+					rec.frame(site, v.Now())
+				})
+			sessions[site].Drain(5 * time.Second)
+		})
+	}
+	<-done[0]
+	<-done[1]
+	snaps[nph] = take()
+	elapsed := v.Now().Sub(start)
+
+	for i, e := range errs {
+		if e != nil {
+			return nil, fmt.Errorf("chaos %s: site %d in phase %q: %w",
+				sc.Name, i, sc.Phases[rec.phase].Name, e)
+		}
+	}
+
+	r := &Report{
+		Spec:          sc,
+		Lag:           sessions[0].Sync().Lag(),
+		Elapsed:       elapsed,
+		MismatchFrame: -1,
+		Converged:     true,
+	}
+	for i := range sc.Phases {
+		pr := PhaseReport{Name: sc.Phases[i].Name, Entered: snaps[i].entered}
+		if pr.Entered {
+			end := snaps[nph]
+			if i+1 < nph && snaps[i+1].entered {
+				end = snaps[i+1]
+			}
+			pr.Start = snaps[i].at.Sub(start)
+			pr.End = end.at.Sub(start)
+			pr.AB = linkStats(lp.AB[i])
+			pr.BA = linkStats(lp.BA[i])
+			for site := 0; site < 2; site++ {
+				a, b := snaps[i].sync[site], end.sync[site]
+				pr.Sites[site] = SitePhase{
+					Frames:            rec.frames[i][site],
+					FirstFrame:        rec.firstAt[i][site],
+					MsgsSent:          b.MsgsSent - a.MsgsSent,
+					MsgsRcvd:          b.MsgsRcvd - a.MsgsRcvd,
+					InputsFresh:       b.InputsFresh - a.InputsFresh,
+					InputsDup:         b.InputsDup - a.InputsDup,
+					Waits:             b.Waits - a.Waits,
+					ChecksumDiscarded: end.disc[site] - snaps[i].disc[site],
+					Retransmissions:   end.arq[site].Retransmissions - snaps[i].arq[site].Retransmissions,
+					BufPeak:           b.BufPeak,
+					Unacked:           end.arq[site].Unacked,
+					OOO:               end.arq[site].OOO,
+				}
+			}
+		}
+		r.Phases = append(r.Phases, pr)
+	}
+	for site := 0; site < 2; site++ {
+		r.Frames[site] = machines[site].FrameCount()
+		r.FinalHashes[site] = machines[site].StateHash()
+		r.AllAcked[site] = sessions[site].Sync().AllAcked()
+		r.Sync[site] = snaps[nph].sync[site]
+		r.ARQ[site] = snaps[nph].arq[site]
+		r.ChecksumDiscarded[site] = snaps[nph].disc[site]
+	}
+	if len(hashes[0]) != len(hashes[1]) {
+		r.Converged = false
+		r.MismatchFrame = min(len(hashes[0]), len(hashes[1]))
+	}
+	for f := 0; f < min(len(hashes[0]), len(hashes[1])); f++ {
+		if hashes[0][f] != hashes[1][f] {
+			r.Converged = false
+			r.MismatchFrame = f
+			break
+		}
+	}
+	return r, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

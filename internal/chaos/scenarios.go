@@ -1,0 +1,90 @@
+package chaos
+
+import (
+	"time"
+
+	"retrolock/internal/netem"
+)
+
+// wan returns a mildly jittery WAN direction, the baseline the fault phases
+// perturb.
+func wan() *netem.Config {
+	return &netem.Config{Delay: 10 * time.Millisecond, Jitter: time.Millisecond}
+}
+
+// Soak is the default full-stack chaos scenario: a calm warm-up, a
+// Gilbert-Elliott burst-loss storm, a duplicate/reorder storm, a bit-flip
+// corruption phase, an asymmetric then a full partition, and a healed tail
+// that runs until the requested frames complete. Partitions stay well under
+// the 60 s SyncInput timeout, so the run must recover — and Verify checks
+// that it does.
+func Soak(seed int64, frames int) Scenario {
+	return Scenario{
+		Name:   "soak",
+		Seed:   seed,
+		Frames: frames,
+		Phases: []Phase{
+			{Name: "calm", Duration: 2 * time.Second,
+				AB: wan(), BA: wan(), WantProgress: true},
+			{Name: "burst-storm", Duration: 4 * time.Second,
+				AB: &netem.Config{Delay: 15 * time.Millisecond, Jitter: 5 * time.Millisecond,
+					Loss: 0.3, BurstLoss: true, MeanBurst: 16},
+				BA: &netem.Config{Delay: 15 * time.Millisecond, Jitter: 5 * time.Millisecond,
+					Loss: 0.3, BurstLoss: true, MeanBurst: 16},
+				WantProgress: true},
+			{Name: "dup-reorder", Duration: 3 * time.Second,
+				AB: &netem.Config{Delay: 10 * time.Millisecond, Jitter: 3 * time.Millisecond,
+					Duplicate: 0.3, Reorder: 0.2},
+				BA: &netem.Config{Delay: 10 * time.Millisecond, Jitter: 3 * time.Millisecond,
+					Duplicate: 0.3, Reorder: 0.2},
+				WantProgress: true},
+			{Name: "bit-corrupt", Duration: 3 * time.Second,
+				AB:           &netem.Config{Delay: 10 * time.Millisecond, Corrupt: 0.3},
+				BA:           &netem.Config{Delay: 10 * time.Millisecond, Corrupt: 0.3},
+				WantProgress: true},
+			{Name: "one-way-partition", Duration: 2 * time.Second,
+				PartitionAB: true, BA: wan()},
+			{Name: "full-partition", Duration: 2 * time.Second,
+				PartitionAB: true, PartitionBA: true},
+			{Name: "heal",
+				AB: wan(), BA: wan(), WantProgress: true},
+		},
+	}
+}
+
+// SkewSoak stresses the frame pacer with clock-rate skew: site 1 runs 2%
+// fast, then 2% slow, around a burst-loss storm, before healing. Lockstep
+// must hold the sites together regardless — the fast site throttles on
+// SyncInput, the slow one catches up via the master/slave pacer.
+func SkewSoak(seed int64, frames int) Scenario {
+	return Scenario{
+		Name:   "skew-soak",
+		Seed:   seed,
+		Frames: frames,
+		Phases: []Phase{
+			{Name: "calm", Duration: 2 * time.Second,
+				AB: wan(), BA: wan(), WantProgress: true},
+			{Name: "skew-fast", Duration: 5 * time.Second,
+				AB: wan(), BA: wan(), ClockRate: 1.02, WantProgress: true},
+			{Name: "skew-slow-lossy", Duration: 5 * time.Second,
+				AB: &netem.Config{Delay: 10 * time.Millisecond, Jitter: 2 * time.Millisecond,
+					Loss: 0.2, BurstLoss: true, MeanBurst: 8},
+				BA: &netem.Config{Delay: 10 * time.Millisecond, Jitter: 2 * time.Millisecond,
+					Loss: 0.2, BurstLoss: true, MeanBurst: 8},
+				ClockRate: 0.98, WantProgress: true},
+			{Name: "heal",
+				AB: wan(), BA: wan(), WantProgress: true},
+		},
+	}
+}
+
+// ARQSoak routes the same fault schedule as Soak through the reliable
+// in-order transport, exercising the ARQ window, retransmission and
+// out-of-order bounds under bursts, duplication, corruption and healed
+// partitions.
+func ARQSoak(seed int64, frames int) Scenario {
+	sc := Soak(seed, frames)
+	sc.Name = "arq-soak"
+	sc.ARQ = true
+	return sc
+}

@@ -351,34 +351,43 @@ func (s *Session) admitQueuedJoiners() {
 	}
 }
 
-// drainQuiet is how long an observer keeps draining after the last received
-// message before deciding the players are done.
+// drainQuiet is how long a draining site keeps serving after the last
+// input-carrying message before deciding its peers are done.
 const drainQuiet = 500 * time.Millisecond
 
 // Drain keeps acknowledging and retransmitting after the frame loop so the
-// peer can finish its own final frames. Players exit once every peer acked
-// their inputs; observers (who have nothing to be acked for) exit after the
-// incoming traffic has been quiet for a while. Without draining, a packet
-// lost near the end would freeze the slower site forever.
+// peer can finish its own final frames. Without draining, a packet lost
+// near the end would freeze the slower site forever.
+//
+// A site is ready to leave once every peer acked its inputs (observers have
+// nothing to be acked for), but it must not leave the instant that happens:
+// lockstep lets the sites finish up to BufFrame frames apart, so the
+// faster site's acks arrive before the straggler has even sent its final
+// inputs — leaving immediately would strand those inputs unacknowledged and
+// burn the straggler's whole drain timeout. So a ready site lingers as a
+// lame duck, answering retransmissions with acks (every paced keepalive
+// carries the cumulative ack), until no input-carrying message has arrived
+// for drainQuiet. Keepalives deliberately do not reset the quiet window: a
+// peer sending only keepalives has nothing left unacknowledged, while one
+// still retransmitting inputs is still owed acks.
 func (s *Session) Drain(timeout time.Duration) {
 	deadline := s.clock.Now().Add(timeout)
-	lastMsgs := s.sync.Stats().MsgsRcvd
+	inputsSeen := func() int {
+		st := s.sync.Stats()
+		return st.InputsFresh + st.InputsDup
+	}
+	last := inputsSeen()
 	quietSince := s.clock.Now()
 	for s.clock.Now().Before(deadline) {
 		s.sync.Pump()
-		if s.cfg.IsObserver() {
-			if got := s.sync.Stats().MsgsRcvd; got != lastMsgs {
-				lastMsgs = got
-				quietSince = s.clock.Now()
-			}
-			if s.clock.Now().Sub(quietSince) >= drainQuiet {
-				s.sync.FlushAcks()
-				return
-			}
-		} else if s.sync.AllAcked() {
+		if got := inputsSeen(); got != last {
+			last = got
+			quietSince = s.clock.Now()
+		}
+		ready := s.cfg.IsObserver() || s.sync.AllAcked()
+		if ready && s.clock.Now().Sub(quietSince) >= drainQuiet {
 			// Give the peers the acks they are waiting for before
-			// leaving, or the slowest site sits out its whole
-			// timeout.
+			// leaving, or the slowest site sits out its whole timeout.
 			s.sync.FlushAcks()
 			return
 		}

@@ -52,6 +52,11 @@ const (
 	maxInputsPerMsg = 512
 )
 
+// MaxInputsPerMsg is the largest input range one sync message carries. It is
+// exported for harnesses that assert memory bounds: the input ring's window
+// never exceeds O(lag + MaxInputsPerMsg) regardless of session length.
+const MaxInputsPerMsg = maxInputsPerMsg
+
 // syncMsg is a decoded sync message. Merged marks a forwarded stream: the
 // payload carries complete input words (every player's bits) rather than
 // only the sender's partial inputs. Players send merged streams to observer

@@ -170,11 +170,12 @@ type Result struct {
 	Elapsed time.Duration
 }
 
-// playerInput synthesizes a deterministic pseudo-random pad byte for a
+// PlayerInput synthesizes a deterministic pseudo-random pad byte for a
 // player at a frame. Button mashing at full frame rate is a worst case for
 // input traffic; §4 notes the game (and hence the inputs) does not affect
-// the timing results.
-func playerInput(seed int64, site, frame int) uint16 {
+// the timing results. Exported so other virtual-time drivers (the chaos
+// harness) feed the exact same input streams.
+func PlayerInput(seed int64, site, frame int) uint16 {
 	h := fnv.New64a()
 	var b [24]byte
 	for i := 0; i < 8; i++ {
@@ -375,7 +376,7 @@ func Run(cfg Config) (*Result, error) {
 			localInput := func(f int) uint16 {
 				// Frame begin: report to the time server (§4.1).
 				_ = rep.SendTo("timeserver", timeserver.EncodeReport(site, f))
-				return playerInput(cfg.Seed, site, f)
+				return PlayerInput(cfg.Seed, site, f)
 			}
 			if site >= 2 {
 				localInput = func(f int) uint16 {

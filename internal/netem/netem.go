@@ -6,6 +6,8 @@
 // duplication, reordering — plus two the paper's §4.2 analysis accounts for
 // implicitly: a bounded uniform processing delay (the 10 ms sender-thread
 // scheduling quantum, ~5 ms average) and an optional serialization rate.
+// For the chaos harness it additionally models in-flight bit corruption
+// (the simnet.Corrupter extension).
 //
 // All randomness comes from a seeded PRNG, so a virtual-time experiment with
 // a fixed seed reproduces bit-identical results.
@@ -60,6 +62,14 @@ type Config struct {
 	// this knob forces it even on jitter-free links.
 	Reorder float64
 
+	// Corrupt is the per-delivered-copy probability that a single random
+	// bit of the payload is flipped in flight (like `netem corrupt`).
+	// Each copy of a duplicated packet is corrupted independently. The
+	// chaos harness uses it to model link-level bit errors; endpoints
+	// that want UDP's checksum behaviour layer transport.NewChecksum
+	// over their connections so corrupted datagrams are discarded.
+	Corrupt float64
+
 	// ReorderExtra is the extra delay applied to reordered packets. Zero
 	// defaults to 4*Jitter or, if Jitter is zero, 10 ms.
 	ReorderExtra time.Duration
@@ -98,6 +108,7 @@ type Emulator struct {
 	dropped    int
 	duplicated int
 	reordered  int
+	corrupted  int
 }
 
 // New creates an Emulator for cfg.
@@ -131,6 +142,24 @@ func (e *Emulator) Plan(now time.Time, size int) []time.Duration {
 		return nil
 	}
 
+	copies := 1
+	if e.cfg.Duplicate > 0 && e.rng.Float64() < e.cfg.Duplicate {
+		e.duplicated++
+		copies = 2
+	}
+	offsets := make([]time.Duration, copies)
+	for i := range offsets {
+		offsets[i] = e.deliveryOffsetLocked(now, size)
+	}
+	return offsets
+}
+
+// deliveryOffsetLocked plans one delivered copy of a packet: propagation +
+// processing delay, serialization through the rate queue, and the deliberate
+// reorder knob. Duplicates travel the exact same path as originals — each
+// copy occupies the serialization queue in turn — so on a rate-limited link
+// a duplicate can never arrive before its original could have.
+func (e *Emulator) deliveryOffsetLocked(now time.Time, size int) time.Duration {
 	offset := e.oneWayLocked()
 
 	if e.cfg.Rate > 0 {
@@ -147,13 +176,7 @@ func (e *Emulator) Plan(now time.Time, size int) []time.Duration {
 		e.reordered++
 		offset += e.reorderExtraLocked()
 	}
-
-	offsets := []time.Duration{offset}
-	if e.cfg.Duplicate > 0 && e.rng.Float64() < e.cfg.Duplicate {
-		e.duplicated++
-		offsets = append(offsets, e.oneWayLocked())
-	}
-	return offsets
+	return offset
 }
 
 // dropLocked decides one packet's fate under the configured loss process.
@@ -207,12 +230,37 @@ func (e *Emulator) reorderExtraLocked() time.Duration {
 	return 10 * time.Millisecond
 }
 
+// Corrupt implements simnet.Corrupter. With probability cfg.Corrupt it
+// returns a copy of p with one random bit flipped; otherwise it returns p
+// unchanged. The input slice is never mutated, so the caller may share one
+// backing buffer across the copies of a duplicated packet.
+func (e *Emulator) Corrupt(p []byte) ([]byte, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cfg.Corrupt <= 0 || len(p) == 0 || e.rng.Float64() >= e.cfg.Corrupt {
+		return p, false
+	}
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	bit := e.rng.Intn(len(cp) * 8)
+	cp[bit/8] ^= 1 << (bit % 8)
+	e.corrupted++
+	return cp, true
+}
+
 // Stats reports lifetime counters: packets planned, dropped, duplicated and
 // deliberately reordered.
 func (e *Emulator) Stats() (planned, dropped, duplicated, reordered int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.planned, e.dropped, e.duplicated, e.reordered
+}
+
+// Corrupted reports how many delivered copies had a bit flipped in flight.
+func (e *Emulator) Corrupted() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.corrupted
 }
 
 // Install wires a bidirectional emulated link between addresses a and b on
@@ -226,3 +274,4 @@ func Install(n *simnet.Network, a, b string, fwd, rev Config) (*Emulator, *Emula
 }
 
 var _ simnet.Shaper = (*Emulator)(nil)
+var _ simnet.Corrupter = (*Emulator)(nil)

@@ -224,3 +224,82 @@ func TestBurstLossDefaults(t *testing.T) {
 		t.Errorf("defaults not applied: %+v", e.cfg)
 	}
 }
+
+func TestDuplicateRespectsRateQueue(t *testing.T) {
+	// 8000 bit/s: a 100-byte packet takes 100ms on the wire. The
+	// duplicate must be serialized behind its original, never planned
+	// with a fresh propagation-only delay that overtakes the queue.
+	e := New(Config{Rate: 8000, Duplicate: 1.0, Seed: 9})
+	offs := e.Plan(now, 100)
+	if len(offs) != 2 {
+		t.Fatalf("Plan returned %d copies, want 2", len(offs))
+	}
+	if offs[0] != 100*time.Millisecond {
+		t.Errorf("original offset = %v, want 100ms", offs[0])
+	}
+	if offs[1] != 200*time.Millisecond {
+		t.Errorf("duplicate offset = %v, want 200ms (serialized behind the original)", offs[1])
+	}
+	if offs[1] <= offs[0] {
+		t.Errorf("duplicate (%v) not behind original (%v): bypassed the rate queue", offs[1], offs[0])
+	}
+	// The next packet queues behind both copies.
+	next := e.Plan(now, 100)
+	if next[0] != 300*time.Millisecond {
+		t.Errorf("next original offset = %v, want 300ms (duplicate consumed bandwidth)", next[0])
+	}
+}
+
+func TestDuplicateSubjectToReorderKnob(t *testing.T) {
+	e := New(Config{Delay: 10 * time.Millisecond, Duplicate: 1.0, Reorder: 1.0, ReorderExtra: 15 * time.Millisecond, Seed: 10})
+	offs := e.Plan(now, 100)
+	if len(offs) != 2 {
+		t.Fatalf("Plan returned %d copies, want 2", len(offs))
+	}
+	for i, off := range offs {
+		if off != 25*time.Millisecond {
+			t.Errorf("copy %d offset = %v, want 25ms (delay + reorder extra)", i, off)
+		}
+	}
+	_, _, _, reordered := e.Stats()
+	if reordered != 2 {
+		t.Errorf("reordered counter = %d, want 2 (both copies roll the knob)", reordered)
+	}
+}
+
+func TestCorruptFlipsExactlyOneBitInACopy(t *testing.T) {
+	e := New(Config{Corrupt: 1.0, Seed: 11})
+	p := make([]byte, 32)
+	for i := range p {
+		p[i] = 0xAA
+	}
+	orig := append([]byte(nil), p...)
+	q, changed := e.Corrupt(p)
+	if !changed {
+		t.Fatal("Corrupt = unchanged at probability 1.0")
+	}
+	for i := range p {
+		if p[i] != orig[i] {
+			t.Fatalf("input slice mutated at byte %d; Corrupt must return a fresh copy", i)
+		}
+	}
+	flipped := 0
+	for i := range q {
+		d := q[i] ^ orig[i]
+		for ; d != 0; d &= d - 1 {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Errorf("%d bits flipped, want exactly 1", flipped)
+	}
+	if e.Corrupted() != 1 {
+		t.Errorf("Corrupted() = %d, want 1", e.Corrupted())
+	}
+
+	off := New(Config{Seed: 12})
+	q2, changed := off.Corrupt(p)
+	if changed || len(q2) != len(p) || &q2[0] != &p[0] {
+		t.Error("Corrupt at probability 0 must return the input slice unchanged")
+	}
+}

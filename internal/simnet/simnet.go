@@ -7,9 +7,12 @@
 // milliseconds and bit-reproducibly; running it over the real clock turns it
 // into an in-memory loopback with live traffic shaping.
 //
-// Semantics mirror UDP: datagrams may be dropped (by the shaper, or when a
-// receive queue overflows), duplicated, and reordered; they are never
-// corrupted or truncated.
+// Semantics mirror UDP over a raw link: datagrams may be dropped (by the
+// shaper, or when a receive queue overflows), duplicated, and reordered;
+// they are never truncated, and they are only corrupted when the link's
+// shaper implements the optional Corrupter extension (the chaos harness's
+// bit-error model — real UDP's checksum is modelled separately, by
+// transport.NewChecksum).
 package simnet
 
 import (
@@ -46,6 +49,14 @@ type Shaper interface {
 	// drops the packet; more than one entry duplicates it. Offsets below
 	// MinDelay are clamped up by the network.
 	Plan(now time.Time, size int) []time.Duration
+}
+
+// Corrupter is an optional Shaper extension modelling in-flight bit errors.
+// When a link's shaper implements it, Corrupt is invoked once per delivered
+// copy of each datagram. It must not mutate p; to corrupt the copy it
+// returns a fresh, mutated slice and true, otherwise p itself and false.
+type Corrupter interface {
+	Corrupt(p []byte) ([]byte, bool)
 }
 
 // ConstantDelay is a Shaper that delivers every packet exactly once after a
@@ -207,12 +218,20 @@ func (e *Endpoint) SendTo(dst string, payload []byte) error {
 	cp := make([]byte, len(payload))
 	copy(cp, payload)
 	src := e.addr
+	corrupter, _ := shaper.(Corrupter)
 	for _, off := range offsets {
 		if off < MinDelay {
 			off = MinDelay
 		}
+		// Each delivered copy may be corrupted independently; Corrupt
+		// returns a fresh slice when it flips a bit, so the shared copy
+		// stays pristine for the other deliveries.
+		p := cp
+		if corrupter != nil {
+			p, _ = corrupter.Corrupt(cp)
+		}
 		e.net.sched.ScheduleAfter(off, func() {
-			dstEp.enqueue(Datagram{From: src, Payload: cp, At: e.net.sched.Now()})
+			dstEp.enqueue(Datagram{From: src, Payload: p, At: e.net.sched.Now()})
 		})
 	}
 	return nil

@@ -291,3 +291,54 @@ func TestStatsCounters(t *testing.T) {
 	})
 	<-done
 }
+
+// dupCorruptShaper duplicates every packet and corrupts exactly the second
+// copy, to probe the per-copy corruption path.
+type dupCorruptShaper struct{ calls int }
+
+func (s *dupCorruptShaper) Plan(time.Time, int) []time.Duration {
+	return []time.Duration{time.Millisecond, 2 * time.Millisecond}
+}
+
+func (s *dupCorruptShaper) Corrupt(p []byte) ([]byte, bool) {
+	s.calls++
+	if s.calls%2 == 0 {
+		cp := append([]byte(nil), p...)
+		cp[0] ^= 0x01
+		return cp, true
+	}
+	return p, false
+}
+
+func TestCorrupterAppliedPerDeliveredCopy(t *testing.T) {
+	v := vclock.NewVirtual(epoch)
+	n := New(v)
+	a := n.MustBind("a")
+	b := n.MustBind("b")
+	n.SetLink("a", "b", &dupCorruptShaper{})
+
+	payload := []byte("hello")
+	done := v.Go(func() {
+		if err := a.SendTo("b", payload); err != nil {
+			t.Errorf("SendTo: %v", err)
+		}
+		v.Sleep(10 * time.Millisecond)
+		first, ok := b.TryRecv()
+		if !ok || string(first.Payload) != "hello" {
+			t.Fatalf("first copy = %q/%v, want intact hello", first.Payload, ok)
+		}
+		second, ok := b.TryRecv()
+		if !ok {
+			t.Fatal("second copy missing")
+		}
+		want := append([]byte(nil), []byte("hello")...)
+		want[0] ^= 0x01
+		if string(second.Payload) != string(want) {
+			t.Fatalf("second copy = %q, want single-bit-flipped %q", second.Payload, want)
+		}
+	})
+	<-done
+	if string(payload) != "hello" {
+		t.Errorf("sender's buffer mutated to %q; corruption must act on copies", payload)
+	}
+}

@@ -17,6 +17,12 @@ import (
 //
 // Acks are cumulative and carry the receiver's next expected sequence:
 // ACK(n) confirms receipt of every datagram with sequence < n.
+//
+// Sequence numbers are compared with serial-number arithmetic (seqBefore),
+// so they wrap safely at 2^32, and the receiver only buffers segments within
+// one sender window of the next expected sequence: anything further — which
+// a correct peer cannot produce, but a corrupted header can — is dropped and
+// counted instead of growing the out-of-order buffer without bound.
 const (
 	arqData = byte(1)
 	arqAck  = byte(2)
@@ -48,18 +54,29 @@ type ARQConn struct {
 	rto   time.Duration
 
 	// Sender state.
-	nextSeq  uint32
-	unacked  []arqSegment
-	sendErr  error
-	retrans  int
-	maxAhead int // max unacked segments before Send starts dropping (sender window)
+	nextSeq uint32
+	unacked []arqSegment
+	sendErr error
+	retrans int
+	// maxAhead is the sender window: the max unacked segments before Send
+	// starts failing. It doubles as the receive horizon — data segments at
+	// or beyond expected+maxAhead are dropped, since a correct peer with a
+	// symmetric window cannot legitimately produce them.
+	maxAhead int
 
 	// Receiver state.
-	expected uint32
-	ooo      map[uint32][]byte
-	ready    [][]byte
-	closed   bool
+	expected   uint32
+	ooo        map[uint32][]byte
+	ready      [][]byte
+	farDropped int // data segments dropped beyond the receive horizon
+	closed     bool
 }
+
+// seqBefore reports whether sequence a precedes b in serial-number
+// arithmetic: the uint32 space is treated as a circle, so comparisons stay
+// correct across the 2^32 wrap (a half-space apart is unreachable because
+// the sender window is tiny compared to the sequence space).
+func seqBefore(a, b uint32) bool { return int32(a-b) < 0 }
 
 type arqSegment struct {
 	seq      uint32
@@ -167,19 +184,22 @@ func (c *ARQConn) handleLocked(raw []byte) {
 	seq := binary.BigEndian.Uint32(raw[1:5])
 	switch raw[0] {
 	case arqAck:
-		// Cumulative: drop every segment with seq < next-expected.
+		// Cumulative: drop every segment preceding next-expected
+		// (serial arithmetic, so acks stay correct across the wrap).
 		keep := c.unacked[:0]
 		for _, seg := range c.unacked {
-			if seg.seq >= seq {
+			if !seqBefore(seg.seq, seq) {
 				keep = append(keep, seg)
 			}
 		}
 		c.unacked = keep
 	case arqData:
-		payload := raw[arqHeaderLen:]
-		switch {
-		case seq == c.expected:
-			c.ready = append(c.ready, payload)
+		switch delta := int32(seq - c.expected); {
+		case delta == 0:
+			// The payload is copied on ingest: a lower Conn may reuse
+			// its receive buffer, and ready/ooo entries outlive this
+			// call.
+			c.ready = append(c.ready, copyPayload(raw))
 			c.expected++
 			for {
 				next, ok := c.ooo[c.expected]
@@ -190,15 +210,30 @@ func (c *ARQConn) handleLocked(raw []byte) {
 				c.ready = append(c.ready, next)
 				c.expected++
 			}
-		case seq > c.expected:
+		case delta > 0:
+			if delta >= int32(c.maxAhead) {
+				// Beyond the sender-window horizon: a correct peer
+				// cannot have this many segments in flight, so the
+				// sequence is corrupt or hostile. Drop it instead of
+				// buffering arbitrarily far-future segments forever.
+				c.farDropped++
+				return
+			}
 			if _, dup := c.ooo[seq]; !dup {
-				c.ooo[seq] = payload
+				c.ooo[seq] = copyPayload(raw)
 			}
 		default:
 			// Duplicate of already-delivered data: re-ack only.
 		}
 		c.sendAckLocked()
 	}
+}
+
+// copyPayload extracts an owned copy of a data segment's payload.
+func copyPayload(raw []byte) []byte {
+	cp := make([]byte, len(raw)-arqHeaderLen)
+	copy(cp, raw[arqHeaderLen:])
+	return cp
 }
 
 // Flush drives retransmission/ack processing without consuming a datagram.
@@ -221,6 +256,29 @@ func (c *ARQConn) Retransmissions() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.retrans
+}
+
+// ARQStats is a snapshot of an ARQ connection's bookkeeping, for the chaos
+// harness's bounded-memory and retransmission-sanity invariants.
+type ARQStats struct {
+	Unacked         int // segments awaiting acknowledgement (sender window)
+	OOO             int // out-of-order segments buffered at the receiver
+	Ready           int // delivered-in-order segments not yet consumed
+	Retransmissions int // lifetime retransmission count
+	FarDropped      int // data segments dropped beyond the receive horizon
+}
+
+// Stats returns a snapshot of the connection's counters and buffer gauges.
+func (c *ARQConn) Stats() ARQStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ARQStats{
+		Unacked:         len(c.unacked),
+		OOO:             len(c.ooo),
+		Ready:           len(c.ready),
+		Retransmissions: c.retrans,
+		FarDropped:      c.farDropped,
+	}
 }
 
 // Close implements Conn.
