@@ -23,11 +23,14 @@ chaos:
 	$(GO) test ./internal/chaos/ -run 'TestSoak' -count 1 \
 		-chaos.seeds $(CHAOS_SEEDS) -chaos.frames $(CHAOS_FRAMES) -v
 
-# Wire-format fuzzers (coverage-guided; seeds always run under `make verify`).
+# Wire-format and toolchain fuzzers (coverage-guided; seeds always run
+# under `make verify`).
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/core/ -fuzz FuzzDecodeSync -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core/ -fuzz FuzzDecodeSnapChunk -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/rom/ -fuzz FuzzDecodeROM -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/rom/games/ -fuzz FuzzAssemble -fuzztime $(FUZZTIME)
 
 # The steady-state sync loop with allocs/op; BenchmarkSyncHotPath must
 # report 0 allocs/op (also enforced by TestSyncHotPathDoesNotAllocate).

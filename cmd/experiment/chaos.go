@@ -3,10 +3,13 @@ package main
 import (
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"time"
 
 	"retrolock/internal/chaos"
 	"retrolock/internal/harness"
+	"retrolock/internal/obs"
 )
 
 // chaosSeries runs the deterministic chaos soaks (internal/chaos) and prints
@@ -31,14 +34,49 @@ func chaosSeries(base harness.Config) error {
 		chaos.SkewSoak(base.Seed+2, frames),
 	} {
 		sc.Game = base.Game
+		// Keep a frame-event ring per site so -csv runs also get a Chrome
+		// trace of the run's tail (frame spans, stalls, retransmissions).
+		sc.TraceEvents = 1 << 15
 		r, err := chaos.Run(sc)
 		if err != nil {
 			return fmt.Errorf("%s: %w", sc.Name, err)
 		}
 		printChaosReport(r)
 		writeChaosCSV(r)
+		writeChaosTrace(r)
 	}
 	return nil
+}
+
+// writeChaosTrace merges both sites' event rings into one Chrome trace JSON
+// next to the CSVs (chrome://tracing / ui.perfetto.dev).
+func writeChaosTrace(r *chaos.Report) {
+	if csvTo == "" {
+		return
+	}
+	var events []obs.Event
+	for _, tr := range r.Traces {
+		events = append(events, tr.Snapshot()...)
+	}
+	if len(events) == 0 {
+		return
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	name := filepath.Join(csvTo, "chaos-"+r.Spec.Name+".trace.json")
+	f, err := os.Create(name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace %s: %v\n", name, err)
+		return
+	}
+	err = obs.WriteChromeTrace(f, events)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace %s: %v\n", name, err)
+		return
+	}
+	fmt.Printf("  trace: %s (%d events)\n", name, len(events))
 }
 
 func printChaosReport(r *chaos.Report) {

@@ -9,17 +9,29 @@ import (
 	"log"
 
 	"retrolock/internal/lobby"
+	"retrolock/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lobbyd: ")
 	listen := flag.String("listen", ":7200", "UDP address to serve on")
+	obsAddr := flag.String("obs", "", "serve metrics/expvar/pprof on this HTTP address (e.g. :6060)")
 	flag.Parse()
 
 	srv, err := lobby.Listen(*listen)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		lobby.RegisterMetrics(reg, srv)
+		osrv, err := obs.Serve(*obsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer osrv.Close()
+		log.Printf("observability on http://%s/", osrv.Addr())
 	}
 	log.Printf("serving rendezvous on %s", srv.Addr())
 	if err := srv.Serve(); err != nil {

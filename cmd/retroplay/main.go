@@ -29,6 +29,7 @@ import (
 
 	"retrolock/internal/core"
 	"retrolock/internal/lobby"
+	"retrolock/internal/obs"
 	"retrolock/internal/replay"
 	"retrolock/internal/rom"
 	"retrolock/internal/rom/games"
@@ -56,6 +57,8 @@ func main() {
 		useTCP   = flag.Bool("tcp", false, "use the TCP baseline transport instead of UDP")
 		spectate = flag.String("spectate", "", "join a running game as a spectator: address of the master site")
 		accept   = flag.Bool("accept-spectators", true, "master only: serve savestates to spectators that connect")
+		obsAddr  = flag.String("obs", "", "serve live metrics/expvar/pprof on this HTTP address (e.g. :6060)")
+		traceOut = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of frame events to this file")
 	)
 	flag.Parse()
 
@@ -127,6 +130,26 @@ func main() {
 		go acceptSpectators(lst, ses)
 	}
 
+	// Live observability: counters and histograms are free on the hot path
+	// (atomics), the tracer keeps the freshest ~64k frame events in a fixed
+	// ring, and the whole bundle serves over HTTP while the session runs.
+	traceCap := 0
+	if *traceOut != "" || *obsAddr != "" {
+		traceCap = 1 << 16
+	}
+	reg := obs.NewRegistry()
+	so := core.NewSessionObs(reg, *site, traceCap, time.Now())
+	ses.SetObs(so)
+	core.RegisterSessionMetrics(reg, obs.SiteLabels(*site), ses)
+	if *obsAddr != "" {
+		osrv, err := obs.Serve(*obsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer osrv.Close()
+		log.Printf("observability on http://%s/ (metrics, expvar, pprof, trace)", osrv.Addr())
+	}
+
 	log.Print("waiting for the peer (handshake)...")
 	if err := ses.Handshake(60 * time.Second); err != nil {
 		log.Fatal(err)
@@ -174,6 +197,19 @@ func main() {
 			log.Fatalf("writing replay: %v", err)
 		}
 		log.Printf("replay written to %s", *record)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("writing trace: %v", err)
+		}
+		if err := so.Tracer.WriteChromeTrace(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			log.Fatalf("writing trace: %v", err)
+		}
+		log.Printf("trace written to %s (load in chrome://tracing or ui.perfetto.dev)", *traceOut)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"retrolock/internal/metrics"
+	"retrolock/internal/obs"
 	"retrolock/internal/timeserver"
 )
 
@@ -24,6 +25,7 @@ func main() {
 		listen   = flag.String("listen", ":7100", "UDP address to serve on")
 		duration = flag.Duration("duration", time.Minute, "how long to record before reporting")
 		sites    = flag.String("sites", "0,1", "comma-separated site numbers to report")
+		obsAddr  = flag.String("obs", "", "serve metrics/expvar/pprof on this HTTP address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -35,6 +37,16 @@ func main() {
 	srv, err := timeserver.ListenUDP(*listen)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		timeserver.RegisterMetrics(reg, srv)
+		osrv, err := obs.Serve(*obsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer osrv.Close()
+		log.Printf("observability on http://%s/", osrv.Addr())
 	}
 	log.Printf("recording frame reports on %s for %v", srv.Addr(), *duration)
 	done := make(chan error, 1)

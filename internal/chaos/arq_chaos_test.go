@@ -62,7 +62,7 @@ func TestARQUnderChaosSchedule(t *testing.T) {
 	}
 
 	var healStart time.Time
-	onEnter := func(i int) {
+	onEnter := func(i int, _, _ *netem.Emulator) {
 		// Phase boundaries are where backlogs peak; the buffers must be
 		// bounded there no matter what the previous phase did.
 		for _, c := range []*transport.ARQConn{arqA, arqB} {

@@ -27,6 +27,7 @@ import (
 	"retrolock/internal/core"
 	"retrolock/internal/harness"
 	"retrolock/internal/netem"
+	"retrolock/internal/obs"
 	"retrolock/internal/rom/games"
 	"retrolock/internal/simnet"
 	"retrolock/internal/transport"
@@ -93,6 +94,11 @@ type Scenario struct {
 	ARQ bool
 	// ARQRto overrides the ARQ retransmission timeout (0 = default).
 	ARQRto time.Duration
+	// TraceEvents, when positive, attaches a fixed-capacity frame-event
+	// tracer of that many slots to each site (plus the ARQ layer in ARQ
+	// mode). The freshest events survive in Report.Traces; zero disables
+	// tracing entirely.
+	TraceEvents int
 	// Phases is the fault schedule. Empty means one clean 10 s phase.
 	Phases []Phase
 }
@@ -145,13 +151,14 @@ func linkConfig(pc *netem.Config, partition bool, seed int64) netem.Config {
 // installed immediately and each later phase at its cumulative offset, with
 // fresh per-phase emulators seeded from seed (so a phase's counters are
 // exactly that phase's traffic). onEnter, when non-nil, runs at each phase
-// entry — synchronously for phase 0 (before any actor starts), and from a
-// clock callback (all actors parked) for the rest — making it a safe place
-// to snapshot cross-actor state.
+// entry with the freshly installed emulators — synchronously for phase 0
+// (before any actor starts), and from a clock callback (all actors parked)
+// for the rest — making it a safe place to snapshot cross-actor state or
+// register the new emulators with a metrics registry.
 //
 // Phases scheduled past the end of the run (all actors gone) never fire;
 // their LinkPlan slots stay nil.
-func InstallPhases(v *vclock.Virtual, n *simnet.Network, a, b string, seed int64, phases []Phase, onEnter func(i int)) *LinkPlan {
+func InstallPhases(v *vclock.Virtual, n *simnet.Network, a, b string, seed int64, phases []Phase, onEnter func(i int, ab, ba *netem.Emulator)) *LinkPlan {
 	lp := &LinkPlan{
 		AB: make([]*netem.Emulator, len(phases)),
 		BA: make([]*netem.Emulator, len(phases)),
@@ -164,7 +171,7 @@ func InstallPhases(v *vclock.Virtual, n *simnet.Network, a, b string, seed int64
 		n.SetLink(a, b, lp.AB[i])
 		n.SetLink(b, a, lp.BA[i])
 		if onEnter != nil {
-			onEnter(i)
+			onEnter(i, lp.AB[i], lp.BA[i])
 		}
 	}
 	install(0)
@@ -182,12 +189,19 @@ type LinkStats struct {
 	Planned, Dropped, Duplicated, Reordered, Corrupted int
 }
 
-func linkStats(e *netem.Emulator) LinkStats {
-	if e == nil {
-		return LinkStats{}
-	}
-	p, d, dup, r := e.Stats()
-	return LinkStats{Planned: p, Dropped: d, Duplicated: dup, Reordered: r, Corrupted: e.Corrupted()}
+// linkLabels is the registry label set for one direction of one phase's
+// emulator. Each phase gets its own emulator, so no deltas are needed: the
+// final snapshot holds exactly that phase's traffic.
+func linkLabels(dir string, phase int) obs.Labels {
+	return obs.Labels{"dir": dir, "phase": fmt.Sprintf("%d", phase)}
+}
+
+// linkStatsFrom reads one phase-direction's counters out of a registry
+// snapshot (all zero when the phase was never entered, i.e. never
+// registered).
+func linkStatsFrom(snap obs.Snapshot, dir string, phase int) LinkStats {
+	p, d, dup, r, c := netem.LinkStatsFromSnapshot(snap, linkLabels(dir, phase))
+	return LinkStats{Planned: p, Dropped: d, Duplicated: dup, Reordered: r, Corrupted: c}
 }
 
 // SitePhase is one site's activity during one phase. Message and frame
@@ -232,15 +246,19 @@ type Report struct {
 	Sync              [2]core.Stats
 	ARQ               [2]transport.ARQStats
 	ChecksumDiscarded [2]int
+
+	// Traces holds each site's frame-event ring when Spec.TraceEvents > 0
+	// (nil otherwise). Export with obs.WriteChromeTrace / Tracer.WriteJSONL.
+	Traces [2]*obs.Tracer
 }
 
-// snapshot is the cumulative cross-site state at one phase boundary.
+// snapshot is the cumulative cross-site state at one phase boundary: a
+// point-in-time read of every series the run registered (sync counters, ARQ
+// and checksum bookkeeping, per-phase link emulators).
 type snapshot struct {
 	at      time.Time
 	entered bool
-	sync    [2]core.Stats
-	arq     [2]transport.ARQStats
-	disc    [2]int
+	snap    obs.Snapshot
 }
 
 // recorder attributes executed frames to the phase they ran in. Both site
@@ -331,6 +349,11 @@ func Run(sc Scenario) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Every stat the report needs flows through one registry: the phase
+	// snapshots below are registry snapshots, and the per-phase tables are
+	// deltas between them.
+	reg := obs.NewRegistry()
+	var traces [2]*obs.Tracer
 	var sessions [2]*core.Session
 	var machines [2]*costedMachine
 	for i := 0; i < 2; i++ {
@@ -350,28 +373,38 @@ func Run(sc Scenario) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		sl := obs.SiteLabels(i)
+		core.RegisterSessionMetrics(reg, sl, sessions[i])
+		transport.RegisterChecksumMetrics(reg, sl, cks[i])
+		if arqs[i] != nil {
+			transport.RegisterARQMetrics(reg, sl, arqs[i])
+		}
+		if sc.TraceEvents > 0 {
+			traces[i] = obs.NewTracer(sc.TraceEvents, Epoch)
+			reg.AddTracer(fmt.Sprintf("site%d", i), traces[i])
+			sessions[i].SetObs(&obs.SessionObs{Site: i, Tracer: traces[i]})
+			if arqs[i] != nil {
+				arqs[i].SetTracer(i, traces[i])
+			}
+		}
 	}
 
 	nph := len(sc.Phases)
 	snaps := make([]snapshot, nph+1)
 	rec := newRecorder(nph)
 	take := func() snapshot {
-		s := snapshot{at: v.Now(), entered: true}
-		for i := 0; i < 2; i++ {
-			s.sync[i] = sessions[i].Sync().Stats()
-			s.disc[i] = cks[i].Discarded()
-			if arqs[i] != nil {
-				s.arq[i] = arqs[i].Stats()
-			}
-		}
-		return s
+		return snapshot{at: v.Now(), entered: true, snap: reg.Snapshot()}
 	}
-	onEnter := func(i int) {
+	onEnter := func(i int, ab, ba *netem.Emulator) {
+		// Register before snapshotting so the phase-entry snapshot already
+		// carries this phase's (zeroed) link series.
+		netem.RegisterLinkMetrics(reg, linkLabels("ab", i), ab)
+		netem.RegisterLinkMetrics(reg, linkLabels("ba", i), ba)
 		snaps[i] = take()
 		rec.enter(i, v.Now())
 		skew.SetRate(sc.Phases[i].ClockRate)
 	}
-	lp := InstallPhases(v, n, "site0", "site1", sc.Seed, sc.Phases, onEnter)
+	InstallPhases(v, n, "site0", "site1", sc.Seed, sc.Phases, onEnter)
 
 	start := v.Now()
 	var hashes [2][]uint64
@@ -422,35 +455,44 @@ func Run(sc Scenario) (*Report, error) {
 			}
 			pr.Start = snaps[i].at.Sub(start)
 			pr.End = end.at.Sub(start)
-			pr.AB = linkStats(lp.AB[i])
-			pr.BA = linkStats(lp.BA[i])
+			// Each phase has its own emulators, so their counters need no
+			// delta — the final snapshot is exactly that phase's traffic.
+			pr.AB = linkStatsFrom(snaps[nph].snap, "ab", i)
+			pr.BA = linkStatsFrom(snaps[nph].snap, "ba", i)
+			delta := end.snap.Delta(snaps[i].snap)
 			for site := 0; site < 2; site++ {
-				a, b := snaps[i].sync[site], end.sync[site]
+				sl := obs.SiteLabels(site)
+				d := core.SyncStatsFromSnapshot(delta, sl)
+				arqEnd := transport.ARQStatsFromSnapshot(end.snap, sl)
+				arqStart := transport.ARQStatsFromSnapshot(snaps[i].snap, sl)
 				pr.Sites[site] = SitePhase{
 					Frames:            rec.frames[i][site],
 					FirstFrame:        rec.firstAt[i][site],
-					MsgsSent:          b.MsgsSent - a.MsgsSent,
-					MsgsRcvd:          b.MsgsRcvd - a.MsgsRcvd,
-					InputsFresh:       b.InputsFresh - a.InputsFresh,
-					InputsDup:         b.InputsDup - a.InputsDup,
-					Waits:             b.Waits - a.Waits,
-					ChecksumDiscarded: end.disc[site] - snaps[i].disc[site],
-					Retransmissions:   end.arq[site].Retransmissions - snaps[i].arq[site].Retransmissions,
-					BufPeak:           b.BufPeak,
-					Unacked:           end.arq[site].Unacked,
-					OOO:               end.arq[site].OOO,
+					MsgsSent:          d.MsgsSent,
+					MsgsRcvd:          d.MsgsRcvd,
+					InputsFresh:       d.InputsFresh,
+					InputsDup:         d.InputsDup,
+					Waits:             d.Waits,
+					ChecksumDiscarded: transport.ChecksumDiscardedFrom(delta, sl),
+					Retransmissions:   arqEnd.Retransmissions - arqStart.Retransmissions,
+					BufPeak:           core.SyncStatsFromSnapshot(end.snap, sl).BufPeak,
+					Unacked:           arqEnd.Unacked,
+					OOO:               arqEnd.OOO,
 				}
 			}
 		}
 		r.Phases = append(r.Phases, pr)
 	}
+	final := snaps[nph].snap
 	for site := 0; site < 2; site++ {
+		sl := obs.SiteLabels(site)
 		r.Frames[site] = machines[site].FrameCount()
 		r.FinalHashes[site] = machines[site].StateHash()
 		r.AllAcked[site] = sessions[site].Sync().AllAcked()
-		r.Sync[site] = snaps[nph].sync[site]
-		r.ARQ[site] = snaps[nph].arq[site]
-		r.ChecksumDiscarded[site] = snaps[nph].disc[site]
+		r.Sync[site] = core.SyncStatsFromSnapshot(final, sl)
+		r.ARQ[site] = transport.ARQStatsFromSnapshot(final, sl)
+		r.ChecksumDiscarded[site] = transport.ChecksumDiscardedFrom(final, sl)
+		r.Traces[site] = traces[site]
 	}
 	if len(hashes[0]) != len(hashes[1]) {
 		r.Converged = false

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
+	"retrolock/internal/obs"
 	"retrolock/internal/vclock"
 )
 
@@ -46,7 +48,20 @@ type InputSync struct {
 	// rollback baseline's timesync.
 	rcvAt map[int]time.Time
 
-	stats Stats
+	stats syncCounters
+
+	// Published mirrors of frame-loop state for concurrent pollers. Single
+	// writer (the frame loop) stores, any goroutine loads — same discipline
+	// as syncCounters. They exist so Lag and AllAcked never read the plain
+	// fields or walk the peers map (which AddJoiner mutates mid-session).
+	lagPub    atomic.Int64 // mirrors lag
+	ownRcvPub atomic.Int64 // mirrors lastRcv[SiteNo]
+	minAckPub atomic.Int64 // min of lastAck across peers (maxInt if peerless)
+
+	// tele is the optional observability bundle (tracer + histograms).
+	// All hooks are nil-safe, so the zero value costs one predictable
+	// branch per event on the hot path.
+	tele *obs.SessionObs
 
 	// OnHash, when set, receives peer state digests (divergence
 	// detection); Session wires it to its hash log.
@@ -72,7 +87,10 @@ type peerState struct {
 	haveEcho   bool
 }
 
-// Stats counts protocol activity, for the extended experiments.
+// Stats counts protocol activity, for the extended experiments. It is a
+// plain snapshot struct; the live counters behind it are atomic (see
+// syncCounters), so Stats() may be polled from any goroutine while the
+// frame loop runs.
 type Stats struct {
 	MsgsSent      int
 	MsgsRcvd      int
@@ -86,6 +104,45 @@ type Stats struct {
 	MalformedRcvd int
 	SnapChunks    int // snapshot chunks served to late joiners
 	BufPeak       int // high-water mark of the input ring window, in frames
+}
+
+// syncCounters is the live, concurrently-pollable form of Stats. The frame
+// loop is the only writer, so plain Store suffices for the high-water mark;
+// atomic loads make reads race-free from any goroutine (registry gauges,
+// Drain on another site, chaos phase snapshots).
+type syncCounters struct {
+	msgsSent    atomic.Int64
+	msgsRcvd    atomic.Int64
+	bytesSent   atomic.Int64
+	bytesRcvd   atomic.Int64
+	inputsSent  atomic.Int64
+	inputsFresh atomic.Int64
+	inputsDup   atomic.Int64
+	waits       atomic.Int64
+	waitTimeNs  atomic.Int64
+	malformed   atomic.Int64
+	snapChunks  atomic.Int64
+	bufPeak     atomic.Int64
+}
+
+// snapshot assembles a Stats view. Each field is read atomically but the
+// struct is not a consistent cut across fields — adequate for monitoring and
+// for deltas over quiescent points (phase boundaries, drained sessions).
+func (c *syncCounters) snapshot() Stats {
+	return Stats{
+		MsgsSent:      int(c.msgsSent.Load()),
+		MsgsRcvd:      int(c.msgsRcvd.Load()),
+		BytesSent:     c.bytesSent.Load(),
+		BytesRcvd:     c.bytesRcvd.Load(),
+		InputsSent:    int(c.inputsSent.Load()),
+		InputsFresh:   int(c.inputsFresh.Load()),
+		InputsDup:     int(c.inputsDup.Load()),
+		Waits:         int(c.waits.Load()),
+		WaitTime:      time.Duration(c.waitTimeNs.Load()),
+		MalformedRcvd: int(c.malformed.Load()),
+		SnapChunks:    int(c.snapChunks.Load()),
+		BufPeak:       int(c.bufPeak.Load()),
+	}
 }
 
 // NewInputSync creates the sync state for one site. epoch anchors the
@@ -128,14 +185,35 @@ func NewInputSync(cfg Config, clock vclock.Clock, epoch time.Time, peers []Peer)
 		}
 		s.peers[p.Site] = &peerState{Peer: p, lastAck: init}
 	}
+	s.lagPub.Store(int64(s.lag))
+	s.ownRcvPub.Store(int64(init))
+	s.republishAcks()
 	return s, nil
+}
+
+// republishAcks recomputes the published minimum acknowledgement across all
+// peers. The frame loop calls it whenever a lastAck advances or a peer
+// joins, so AllAcked can answer pollers without touching the peers map.
+func (s *InputSync) republishAcks() {
+	min := int64(int(^uint(0) >> 1))
+	for _, p := range s.peers {
+		if a := int64(p.lastAck); a < min {
+			min = a
+		}
+	}
+	s.minAckPub.Store(min)
 }
 
 // Config returns the site configuration (with defaults applied).
 func (s *InputSync) Config() Config { return s.cfg }
 
-// Stats returns a copy of the protocol counters.
-func (s *InputSync) Stats() Stats { return s.stats }
+// Stats returns a snapshot of the protocol counters. Safe to call from any
+// goroutine while the session runs.
+func (s *InputSync) Stats() Stats { return s.stats.snapshot() }
+
+// SetObs attaches an observability bundle (nil detaches). Call before the
+// session starts; the hooks themselves never allocate.
+func (s *InputSync) SetObs(o *obs.SessionObs) { s.tele = o }
 
 // Pointer returns the next frame to be delivered (IBufPointer).
 func (s *InputSync) Pointer() int { return s.pointer }
@@ -148,8 +226,8 @@ func (s *InputSync) LastRcv(site int) int { return s.lastRcv[site] }
 // edge are stale retransmissions and are dropped.
 func (s *InputSync) put(f, player int, input uint16) {
 	if s.ibuf.merge(f, s.cfg.Masks[player], input) {
-		if w := s.ibuf.window(); w > s.stats.BufPeak {
-			s.stats.BufPeak = w
+		if w := int64(s.ibuf.window()); w > s.stats.bufPeak.Load() {
+			s.stats.bufPeak.Store(w)
 		}
 	}
 }
@@ -230,6 +308,7 @@ func (s *InputSync) SyncInput(input uint16, frame int) (uint16, error) {
 				s.put(f, s.cfg.SiteNo, input)
 			}
 			s.lastRcv[s.cfg.SiteNo] = lagF
+			s.ownRcvPub.Store(int64(lagF))
 		}
 	}
 
@@ -247,7 +326,7 @@ func (s *InputSync) SyncInput(input uint16, frame int) (uint16, error) {
 		}
 		if !waited {
 			waited = true
-			s.stats.Waits++
+			s.stats.waits.Add(1)
 		}
 		if s.cfg.WaitTimeout > 0 && s.clock.Now().After(deadline) {
 			return 0, fmt.Errorf("%w: frame %d still missing inputs (have %v)", ErrWaitTimeout, frame, s.lastRcv)
@@ -255,7 +334,10 @@ func (s *InputSync) SyncInput(input uint16, frame int) (uint16, error) {
 		s.clock.Sleep(s.cfg.PollInterval)
 	}
 	if waited {
-		s.stats.WaitTime += s.clock.Now().Sub(waitStart)
+		now := s.clock.Now()
+		d := now.Sub(waitStart)
+		s.stats.waitTimeNs.Add(int64(d))
+		s.tele.Stall(frame, now, d)
 	}
 
 	// Lines 22-23.
@@ -365,23 +447,24 @@ func (s *InputSync) sendTo(p *peerState, now time.Time) {
 		return
 	}
 	p.lastSend = now
-	s.stats.MsgsSent++
-	s.stats.BytesSent += int64(len(s.sendBuf))
-	s.stats.InputsSent += len(m.Inputs)
+	s.stats.msgsSent.Add(1)
+	s.stats.bytesSent.Add(int64(len(s.sendBuf)))
+	s.stats.inputsSent.Add(int64(len(m.Inputs)))
+	s.tele.InputSend(s.pointer, now, len(s.sendBuf))
 }
 
 // handle processes one received datagram from peer p (lines 12-20).
 func (s *InputSync) handle(p *peerState, raw []byte) {
-	s.stats.BytesRcvd += int64(len(raw))
+	s.stats.bytesRcvd.Add(int64(len(raw)))
 	if len(raw) == 0 {
-		s.stats.MalformedRcvd++
+		s.stats.malformed.Add(1)
 		return
 	}
 	switch raw[0] {
 	case msgSync:
 		m, err := decodeSyncInto(raw, s.rcvInputs)
 		if err != nil {
-			s.stats.MalformedRcvd++
+			s.stats.malformed.Add(1)
 			return
 		}
 		if m.Inputs != nil {
@@ -391,7 +474,7 @@ func (s *InputSync) handle(p *peerState, raw []byte) {
 	case msgHash:
 		sender, frame, hash, err := decodeHash(raw)
 		if err != nil {
-			s.stats.MalformedRcvd++
+			s.stats.malformed.Add(1)
 			return
 		}
 		if s.OnHash != nil {
@@ -401,13 +484,14 @@ func (s *InputSync) handle(p *peerState, raw []byte) {
 		// Session-level traffic arriving after the handshake (stray
 		// retransmissions); ignore.
 	default:
-		s.stats.MalformedRcvd++
+		s.stats.malformed.Add(1)
 	}
 }
 
 func (s *InputSync) handleSync(p *peerState, m syncMsg) {
-	s.stats.MsgsRcvd++
+	s.stats.msgsRcvd.Add(1)
 	now := s.clock.Now()
+	s.tele.InputRecv(int(m.To), now, len(m.Inputs))
 
 	// RTT sample: the peer echoed our sendTime together with how long it
 	// held it. rtt = elapsed since we stamped it, minus the hold. HasEcho
@@ -419,6 +503,7 @@ func (s *InputSync) handleSync(p *peerState, m syncMsg) {
 		hold := time.Duration(m.EchoDelay) * time.Microsecond
 		if sample := elapsed - hold; sample >= 0 && sample < time.Minute {
 			p.rtt.Sample(sample)
+			s.tele.RTTSample(sample)
 		}
 	}
 	// Remember the peer's freshest timestamp to echo back.
@@ -430,7 +515,7 @@ func (s *InputSync) handleSync(p *peerState, m syncMsg) {
 		// Frames impossibly far in the future: drop the message (a
 		// correct peer retransmits; a hostile one must not make us
 		// allocate unboundedly).
-		s.stats.MalformedRcvd++
+		s.stats.malformed.Add(1)
 		return
 	}
 
@@ -458,8 +543,8 @@ func (s *InputSync) handleSync(p *peerState, m syncMsg) {
 			if fresh > len(m.Inputs) {
 				fresh = len(m.Inputs)
 			}
-			s.stats.InputsFresh += fresh
-			s.stats.InputsDup += len(m.Inputs) - fresh
+			s.stats.inputsFresh.Add(int64(fresh))
+			s.stats.inputsDup.Add(int64(len(m.Inputs) - fresh))
 			for k := 0; k < s.cfg.NumPlayers; k++ {
 				if int(m.To) > s.lastRcv[k] {
 					s.lastRcv[k] = int(m.To)
@@ -467,7 +552,7 @@ func (s *InputSync) handleSync(p *peerState, m syncMsg) {
 				}
 			}
 		} else {
-			s.stats.InputsDup += len(m.Inputs)
+			s.stats.inputsDup.Add(int64(len(m.Inputs)))
 		}
 
 	case !m.Merged && m.Sender < s.cfg.NumPlayers && m.To >= m.From:
@@ -478,20 +563,21 @@ func (s *InputSync) handleSync(p *peerState, m syncMsg) {
 		}
 		// Lines 14-16.
 		if int(m.To) > s.lastRcv[m.Sender] {
-			s.stats.InputsFresh += int(m.To) - s.lastRcv[m.Sender]
-			s.stats.InputsDup += len(m.Inputs) - (int(m.To) - s.lastRcv[m.Sender])
+			s.stats.inputsFresh.Add(int64(int(m.To) - s.lastRcv[m.Sender]))
+			s.stats.inputsDup.Add(int64(len(m.Inputs) - (int(m.To) - s.lastRcv[m.Sender])))
 			s.lastRcv[m.Sender] = int(m.To)
 			// For site 0 this is MasterRcvTime (§3.2): when the
 			// freshest master input arrived.
 			s.rcvAt[m.Sender] = now
 		} else {
-			s.stats.InputsDup += len(m.Inputs)
+			s.stats.inputsDup.Add(int64(len(m.Inputs)))
 		}
 	}
 
 	// Lines 17-19. An advanced ack may free buffered frames for reuse.
 	if int(m.Ack) > p.lastAck {
 		p.lastAck = int(m.Ack)
+		s.republishAcks()
 		s.retire()
 	}
 }
@@ -546,18 +632,14 @@ func (s *InputSync) RemoteFrameEstimate(k int) (frame float64, ok bool) {
 }
 
 // AllAcked reports whether every peer has acknowledged this site's inputs
-// through the final buffered frame — the drain-completion condition.
+// through the final buffered frame — the drain-completion condition. Reads
+// only published atomics, so it is safe to poll from any goroutine while
+// the frame loop runs (and while late joiners are being added).
 func (s *InputSync) AllAcked() bool {
 	if s.cfg.IsObserver() {
 		return true
 	}
-	final := s.lastRcv[s.cfg.SiteNo]
-	for _, p := range s.peers {
-		if p.lastAck < final {
-			return false
-		}
-	}
-	return true
+	return s.minAckPub.Load() >= s.ownRcvPub.Load()
 }
 
 // --- Hooks for the rollback baseline (no-lag input exchange) -----------
@@ -571,6 +653,7 @@ func (s *InputSync) RecordLocal(f int, input uint16) {
 	}
 	s.put(f, s.cfg.SiteNo, input)
 	s.lastRcv[s.cfg.SiteNo] = f
+	s.ownRcvPub.Store(int64(f))
 }
 
 // Advance moves the delivery pointer forward without delivering (the
@@ -596,8 +679,9 @@ func (s *InputSync) InputAt(f int) (input uint16, ok bool) { return s.get(f) }
 // real input is buffered.
 func (s *InputSync) AuthoritativeThrough() int { return s.completeThrough() }
 
-// Lag returns the current local lag in frames.
-func (s *InputSync) Lag() int { return s.lag }
+// Lag returns the current local lag in frames. Safe to call from any
+// goroutine (it reads a published mirror of the frame loop's value).
+func (s *InputSync) Lag() int { return int(s.lagPub.Load()) }
 
 // SetLag changes the local lag (adaptive-lag ablation). Values below zero
 // clamp to zero. The change takes effect at the next SyncInput: a raise
@@ -608,6 +692,7 @@ func (s *InputSync) SetLag(n int) {
 		n = 0
 	}
 	s.lag = n
+	s.lagPub.Store(int64(n))
 }
 
 // FlushAcks force-sends one sync message to every peer immediately,

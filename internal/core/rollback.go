@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
+	"retrolock/internal/obs"
 	"retrolock/internal/vclock"
 )
 
@@ -35,15 +37,21 @@ type RollbackSession struct {
 	snap   Snapshotter
 	pacer  Pacer
 
-	frame     int
+	// frame is the next frame to execute; atomic so Frame() and registry
+	// gauges may poll it while the loop runs.
+	frame     atomic.Int64
 	confirmed int // all frames <= confirmed used authoritative inputs
 	states    map[int][]byte
 	used      map[int]uint16
 
-	stats RollbackStats
+	// tele is the optional observability bundle (nil-safe hooks).
+	tele *obs.SessionObs
+
+	stats rollbackCounters
 }
 
-// RollbackStats quantifies the baseline's overheads.
+// RollbackStats quantifies the baseline's overheads. Like Stats it is a
+// snapshot struct over atomic counters, safe to poll while frames run.
 type RollbackStats struct {
 	// Rollbacks counts restore+replay episodes.
 	Rollbacks int
@@ -61,6 +69,30 @@ type RollbackStats struct {
 	TimesyncSlept time.Duration
 	// SnapshotBytes is the total savestate volume written.
 	SnapshotBytes int64
+}
+
+// rollbackCounters is the live, concurrently-pollable form of
+// RollbackStats (single writer: the frame loop).
+type rollbackCounters struct {
+	rollbacks      atomic.Int64
+	replayedFrames atomic.Int64
+	deepest        atomic.Int64
+	predicted      atomic.Int64
+	stalls         atomic.Int64
+	timesyncNs     atomic.Int64
+	snapshotBytes  atomic.Int64
+}
+
+func (c *rollbackCounters) snapshot() RollbackStats {
+	return RollbackStats{
+		Rollbacks:       int(c.rollbacks.Load()),
+		ReplayedFrames:  int(c.replayedFrames.Load()),
+		DeepestRollback: int(c.deepest.Load()),
+		PredictedFrames: int(c.predicted.Load()),
+		StallFrames:     int(c.stalls.Load()),
+		TimesyncSlept:   time.Duration(c.timesyncNs.Load()),
+		SnapshotBytes:   c.snapshotBytes.Load(),
+	}
 }
 
 // DefaultPredictionWindow bounds speculation (GGPO-style systems use 7-8).
@@ -119,7 +151,7 @@ func (s *RollbackSession) timesync() {
 		if !ok {
 			continue
 		}
-		if adv := float64(s.frame) - est; adv > worst {
+		if adv := float64(s.frame.Load()) - est; adv > worst {
 			worst = adv
 		}
 	}
@@ -130,7 +162,7 @@ func (s *RollbackSession) timesync() {
 		if extra > tpf {
 			extra = tpf
 		}
-		s.stats.TimesyncSlept += extra
+		s.stats.timesyncNs.Add(int64(extra))
 		s.clock.Sleep(extra)
 	}
 }
@@ -138,11 +170,19 @@ func (s *RollbackSession) timesync() {
 // Sync exposes the underlying input exchange.
 func (s *RollbackSession) Sync() *InputSync { return s.sync }
 
-// Stats returns the accumulated rollback overheads.
-func (s *RollbackSession) Stats() RollbackStats { return s.stats }
+// Stats returns a snapshot of the accumulated rollback overheads. Safe to
+// call from any goroutine while the session runs.
+func (s *RollbackSession) Stats() RollbackStats { return s.stats.snapshot() }
 
-// Frame reports the next frame to execute.
-func (s *RollbackSession) Frame() int { return s.frame }
+// Frame reports the next frame to execute. Safe to call from any goroutine.
+func (s *RollbackSession) Frame() int { return int(s.frame.Load()) }
+
+// SetObs attaches an observability bundle to the session and its sync
+// module (nil detaches). Call before the frame loop starts.
+func (s *RollbackSession) SetObs(o *obs.SessionObs) {
+	s.tele = o
+	s.sync.SetObs(o)
+}
 
 // bestInput merges, for frame f, every authoritative input with the
 // repeat-last prediction for players whose input has not arrived. The sync
@@ -171,9 +211,10 @@ func (s *RollbackSession) bestInput(f int) (input uint16, predicted bool) {
 // reconcile validates executed-but-unconfirmed frames against newly arrived
 // inputs, rolling back and replaying from the first misprediction.
 func (s *RollbackSession) reconcile() {
+	frame := int(s.frame.Load())
 	limit := s.sync.AuthoritativeThrough()
-	if limit > s.frame-1 {
-		limit = s.frame - 1
+	if limit > frame-1 {
+		limit = frame - 1
 	}
 	for f := s.confirmed + 1; f <= limit; f++ {
 		correct, _ := s.bestInput(f)
@@ -205,17 +246,20 @@ func (s *RollbackSession) rollbackTo(f int) {
 	if err := s.snap.Restore(state); err != nil {
 		panic(fmt.Sprintf("core: rollback restore failed: %v", err))
 	}
-	s.stats.Rollbacks++
-	if depth := s.frame - f; depth > s.stats.DeepestRollback {
-		s.stats.DeepestRollback = depth
+	frame := int(s.frame.Load())
+	s.stats.rollbacks.Add(1)
+	depth := frame - f
+	if int64(depth) > s.stats.deepest.Load() {
+		s.stats.deepest.Store(int64(depth))
 	}
-	for g := f; g < s.frame; g++ {
+	s.tele.Rollback(f, s.clock.Now(), depth)
+	for g := f; g < frame; g++ {
 		input, _ := s.bestInput(g)
 		s.used[g] = input
 		s.states[g] = s.snap.Save()
-		s.stats.SnapshotBytes += int64(len(s.states[g]))
+		s.stats.snapshotBytes.Add(int64(len(s.states[g])))
 		s.mach.StepFrame(input)
-		s.stats.ReplayedFrames++
+		s.stats.replayedFrames.Add(1)
 	}
 }
 
@@ -233,8 +277,10 @@ func (s *RollbackSession) prune() {
 func (s *RollbackSession) RunFrames(n int, localInput func(frame int) uint16, onFrame func(FrameInfo)) error {
 	var deadline time.Time
 	for i := 0; i < n; i++ {
+		frame := int(s.frame.Load())
 		s.timesync()
-		s.pacer.BeginFrame(s.frame, MasterView{})
+		s.pacer.BeginFrame(frame, MasterView{})
+		s.tele.FrameStart(frame, s.pacer.FrameStart())
 		s.sync.Pump()
 		s.reconcile()
 
@@ -244,14 +290,14 @@ func (s *RollbackSession) RunFrames(n int, localInput func(frame int) uint16, on
 			deadline = s.clock.Now().Add(s.cfg.WaitTimeout)
 		}
 		stalled := false
-		for s.frame-(s.sync.AuthoritativeThrough()+1) >= s.window {
+		for frame-(s.sync.AuthoritativeThrough()+1) >= s.window {
 			if !stalled {
 				stalled = true
-				s.stats.StallFrames++
+				s.stats.stalls.Add(1)
 			}
 			if s.cfg.WaitTimeout > 0 && s.clock.Now().After(deadline) {
 				return fmt.Errorf("%w: frame %d stalled at the prediction window (remote confirmed through %d)",
-					ErrWaitTimeout, s.frame, s.sync.AuthoritativeThrough())
+					ErrWaitTimeout, frame, s.sync.AuthoritativeThrough())
 			}
 			s.clock.Sleep(s.cfg.PollInterval)
 			s.sync.Pump()
@@ -260,30 +306,31 @@ func (s *RollbackSession) RunFrames(n int, localInput func(frame int) uint16, on
 
 		var raw uint16
 		if localInput != nil {
-			raw = localInput(s.frame)
+			raw = localInput(frame)
 		}
-		s.sync.RecordLocal(s.frame, raw)
-		s.sync.Advance(s.frame)
+		s.sync.RecordLocal(frame, raw)
+		s.sync.Advance(frame)
 
-		input, predicted := s.bestInput(s.frame)
+		input, predicted := s.bestInput(frame)
 		if predicted {
-			s.stats.PredictedFrames++
+			s.stats.predicted.Add(1)
 		}
-		s.states[s.frame] = s.snap.Save()
-		s.stats.SnapshotBytes += int64(len(s.states[s.frame]))
+		s.states[frame] = s.snap.Save()
+		s.stats.snapshotBytes.Add(int64(len(s.states[frame])))
 		s.mach.StepFrame(input)
-		s.used[s.frame] = input
+		s.used[frame] = input
 
 		if onFrame != nil {
 			onFrame(FrameInfo{
-				Frame: s.frame,
+				Frame: frame,
 				Start: s.pacer.FrameStart(),
 				Input: input,
 				Hash:  s.mach.StateHash(),
 			})
 		}
 		s.pacer.EndFrame()
-		s.frame++
+		s.tele.FrameEnd(frame, s.pacer.FrameStart(), s.clock.Now())
+		s.frame.Add(1)
 	}
 	return nil
 }
@@ -296,15 +343,16 @@ func (s *RollbackSession) Settle(timeout time.Duration) error {
 	for {
 		s.sync.Pump()
 		s.reconcile()
-		if s.confirmed >= s.frame-1 && s.sync.AllAcked() {
+		last := int(s.frame.Load()) - 1
+		if s.confirmed >= last && s.sync.AllAcked() {
 			s.sync.FlushAcks() // release peers waiting on our final ack
 			return nil
 		}
 		if s.clock.Now().After(deadline) {
-			if s.confirmed >= s.frame-1 {
+			if s.confirmed >= last {
 				return nil // corrected; only acks outstanding
 			}
-			return fmt.Errorf("%w: settle incomplete (confirmed %d of %d)", ErrWaitTimeout, s.confirmed, s.frame-1)
+			return fmt.Errorf("%w: settle incomplete (confirmed %d of %d)", ErrWaitTimeout, s.confirmed, last)
 		}
 		s.clock.Sleep(s.cfg.PollInterval)
 	}

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"retrolock/internal/obs"
 	"retrolock/internal/vclock"
 )
 
@@ -27,12 +29,18 @@ type Session struct {
 	pacer   Pacer
 	machine Machine
 
-	frame int
+	// frame is the next frame to execute. The frame loop is the only
+	// writer; atomic access lets Frame() and registry gauges poll it live.
+	frame atomic.Int64
 
-	// Adaptive-lag ablation state (nil when disabled).
+	// tele is the optional observability bundle (nil-safe hooks).
+	tele *obs.SessionObs
+
+	// Adaptive-lag ablation state (adaptive is nil when disabled; the
+	// counters are atomic so LagStats may be polled while frames run).
 	adaptive   *AdaptiveLag
-	lagChanges int
-	lagSum     int64
+	lagChanges atomic.Int64
+	lagSum     atomic.Int64
 
 	// Divergence detection (nil when disabled).
 	hashes *hashLog
@@ -113,9 +121,9 @@ func NewSession(cfg Config, clock vclock.Clock, epoch time.Time, machine Machine
 		sync:    sync,
 		pacer:   NewFrameTimer(sync.Config(), clock),
 		machine: machine,
-		frame:   sync.Config().StartFrame,
 		joiners: make(map[int]*joinTransfer),
 	}
+	s.frame.Store(int64(sync.Config().StartFrame))
 	if interval := s.cfg.HashInterval; interval > 0 {
 		s.hashes = newHashLog(interval)
 		sync.OnHash = s.hashes.remote
@@ -129,8 +137,15 @@ func NewSession(cfg Config, clock vclock.Clock, epoch time.Time, machine Machine
 // Sync exposes the input-sync state (stats, RTT, master view).
 func (s *Session) Sync() *InputSync { return s.sync }
 
-// Frame reports the next frame to execute.
-func (s *Session) Frame() int { return s.frame }
+// Frame reports the next frame to execute. Safe to call from any goroutine.
+func (s *Session) Frame() int { return int(s.frame.Load()) }
+
+// SetObs attaches an observability bundle to the session and its sync
+// module (nil detaches). Call before the frame loop starts.
+func (s *Session) SetObs(o *obs.SessionObs) {
+	s.tele = o
+	s.sync.SetObs(o)
+}
 
 // Machine returns the wrapped game machine.
 func (s *Session) Machine() Machine { return s.machine }
@@ -225,25 +240,27 @@ func (s *Session) Handshake(timeout time.Duration) error {
 // non-nil, observes each executed frame.
 func (s *Session) RunFrames(n int, localInput func(frame int) uint16, onFrame func(FrameInfo)) error {
 	for i := 0; i < n; i++ {
+		frame := int(s.frame.Load())
 		// Admit queued joiners here, where the machine state is exactly
 		// "before frame s.frame" — the snapshot frame AddJoiner records.
 		s.admitQueuedJoiners()
-		s.adaptLag()
-		s.pacer.BeginFrame(s.frame, s.sync.MasterView()) // step 5
+		s.adaptLag(frame)
+		s.pacer.BeginFrame(frame, s.sync.MasterView()) // step 5
+		s.tele.FrameStart(frame, s.pacer.FrameStart())
 		var raw uint16
 		if localInput != nil {
-			raw = localInput(s.frame) // step 6
+			raw = localInput(frame) // step 6
 		}
-		merged, err := s.sync.SyncInput(raw, s.frame) // step 7
+		merged, err := s.sync.SyncInput(raw, frame) // step 7
 		if err != nil {
-			return fmt.Errorf("frame %d: %w", s.frame, err)
+			return fmt.Errorf("frame %d: %w", frame, err)
 		}
 		s.machine.StepFrame(merged) // step 8 (and 9: the VM renders)
 		hash := s.machine.StateHash()
 		if s.hashes != nil {
-			s.hashes.record(s.frame, hash)
-			if s.frame%s.cfg.HashInterval == 0 {
-				s.broadcastHash(s.frame, hash)
+			s.hashes.record(frame, hash)
+			if frame%s.cfg.HashInterval == 0 {
+				s.broadcastHash(frame, hash)
 			}
 			if err := s.hashes.err(); err != nil {
 				return err
@@ -252,26 +269,27 @@ func (s *Session) RunFrames(n int, localInput func(frame int) uint16, onFrame fu
 		s.serveJoiners()
 		if onFrame != nil {
 			onFrame(FrameInfo{
-				Frame: s.frame,
+				Frame: frame,
 				Start: s.pacer.FrameStart(),
 				Input: merged,
 				Hash:  hash,
 			})
 		}
 		s.pacer.EndFrame() // step 10
-		s.frame++          // step 11
+		s.tele.FrameEnd(frame, s.pacer.FrameStart(), s.clock.Now())
+		s.frame.Add(1) // step 11
 	}
 	return nil
 }
 
 // adaptLag re-targets the local lag from the live RTT estimate (ablation).
-func (s *Session) adaptLag() {
+func (s *Session) adaptLag(frame int) {
 	a := s.adaptive
 	if a == nil {
 		return
 	}
-	s.lagSum += int64(s.sync.Lag())
-	if s.frame%a.Every != 0 {
+	s.lagSum.Add(int64(s.sync.Lag()))
+	if frame%a.Every != 0 {
 		return
 	}
 	// Use the worst RTT across player peers so N-site sessions stay safe.
@@ -299,19 +317,19 @@ func (s *Session) adaptLag() {
 		if ft, ok := s.pacer.(*FrameTimer); ok {
 			ft.SetBufFrame(target)
 		}
-		s.lagChanges++
+		s.lagChanges.Add(1)
 	}
 }
 
 // LagStats reports the adaptive-lag ablation's bookkeeping: how often the
 // lag changed and its average over the executed frames (0, 0 when the
-// ablation is off or nothing ran).
+// ablation is off or nothing ran). Safe to call from any goroutine.
 func (s *Session) LagStats() (changes int, avg float64) {
-	executed := s.frame - s.cfg.StartFrame
+	executed := int(s.frame.Load()) - s.cfg.StartFrame
 	if s.adaptive == nil || executed == 0 {
 		return 0, 0
 	}
-	return s.lagChanges, float64(s.lagSum) / float64(executed)
+	return int(s.lagChanges.Load()), float64(s.lagSum.Load()) / float64(executed)
 }
 
 func (s *Session) broadcastHash(frame int, hash uint64) {
@@ -413,10 +431,11 @@ func (s *Session) AddJoiner(p Peer) (int, error) {
 		return 0, fmt.Errorf("core: site %d already connected", p.Site)
 	}
 	state := snap.Save()
-	frame := s.frame // next frame to execute; the state is "before frame s.frame"
+	frame := int(s.frame.Load()) // next frame to execute; the state is "before frame s.frame"
 
 	ps := &peerState{Peer: p, lastAck: frame - 1}
 	s.sync.peers[p.Site] = ps
+	s.sync.republishAcks()
 
 	// The memory image is mostly zeros; RLE typically collapses the ~9
 	// chunk transfer into one or two datagrams.
@@ -461,7 +480,7 @@ func (s *Session) serveJoiners() {
 			for i := 0; i < 3 && j.next < len(j.chunks); i++ {
 				_ = j.peer.Conn.Send(j.chunks[j.next])
 				j.next++
-				s.sync.stats.SnapChunks++
+				s.sync.stats.snapChunks.Add(1)
 			}
 			j.lastTx = now
 		} else if now.Sub(j.lastTx) >= snapResendEvery {
@@ -469,7 +488,7 @@ func (s *Session) serveJoiners() {
 			// re-send the full state, paced by snapResendEvery.
 			for _, c := range j.chunks {
 				_ = j.peer.Conn.Send(c)
-				s.sync.stats.SnapChunks++
+				s.sync.stats.snapChunks.Add(1)
 			}
 			j.lastTx = now
 		}

@@ -14,6 +14,7 @@ import (
 	"retrolock/internal/core"
 	"retrolock/internal/metrics"
 	"retrolock/internal/netem"
+	"retrolock/internal/obs"
 	"retrolock/internal/rom/games"
 	"retrolock/internal/simnet"
 	"retrolock/internal/timeserver"
@@ -108,6 +109,12 @@ type Config struct {
 
 	// WaitTimeout bounds each SyncInput wait (default 60 s virtual).
 	WaitTimeout time.Duration
+
+	// TraceEvents, when positive, attaches a fixed-capacity frame-event
+	// tracer of that many slots to each site; the rings survive the run in
+	// Result.Traces. Zero disables tracing (histograms and counters are
+	// always collected — they are allocation-free).
+	TraceEvents int
 }
 
 func (c Config) withDefaults() Config {
@@ -168,6 +175,15 @@ type Result struct {
 	Converged bool
 	// Elapsed is the virtual duration of the whole run.
 	Elapsed time.Duration
+	// Registry holds every series the run collected — the per-site sync
+	// counters the SiteResults above were read from, plus frame-time /
+	// stall / RTT histograms per site, the cross-site skew histogram
+	// (retrolock_skew_ns), and the link emulators' counters. Serve it live
+	// with obs.Serve or scrape it with Registry.Snapshot.
+	Registry *obs.Registry
+	// Traces holds each site's frame-event ring when Config.TraceEvents >
+	// 0 (entries nil otherwise).
+	Traces []*obs.Tracer
 }
 
 // PlayerInput synthesizes a deterministic pseudo-random pad byte for a
@@ -205,7 +221,8 @@ func (m *machineUnderTest) StepFrame(input uint16) {
 // Run executes one experiment.
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	v := vclock.NewVirtual(time.Date(2009, 6, 22, 0, 0, 0, 0, time.UTC))
+	start0 := time.Date(2009, 6, 22, 0, 0, 0, 0, time.UTC)
+	v := vclock.NewVirtual(start0)
 	net := simnet.New(v)
 
 	// The emulated WAN between the two players.
@@ -221,7 +238,11 @@ func Run(cfg Config) (*Result, error) {
 			Seed:      seed,
 		}
 	}
-	netem.Install(net, "site0", "site1", linkCfg(cfg.Seed), linkCfg(cfg.Seed+1))
+	reg := obs.NewRegistry()
+	fwdEm, revEm := netem.Install(net, "site0", "site1", linkCfg(cfg.Seed), linkCfg(cfg.Seed+1))
+	netem.RegisterLinkMetrics(reg, obs.Labels{"dir": "fwd"}, fwdEm)
+	netem.RegisterLinkMetrics(reg, obs.Labels{"dir": "rev"}, revEm)
+	skewHist := reg.NewHistogram(core.MetricSkewNs, nil, "per-frame cross-site begin-time skew")
 
 	if cfg.RTTSwing > 0 {
 		every := cfg.SwingEvery
@@ -254,11 +275,13 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	conns := []transport.Conn{conn0, conn1}
+	var arqs [2]*transport.ARQConn
 	if cfg.ARQ {
 		rto := cfg.ARQRto
-		conns = []transport.Conn{
-			transport.NewARQ(conn0, v, rto),
-			transport.NewARQ(conn1, v, rto),
+		for i, lower := range []transport.Conn{conn0, conn1} {
+			arqs[i] = transport.NewARQ(lower, v, rto)
+			conns[i] = arqs[i]
+			transport.RegisterARQMetrics(reg, obs.SiteLabels(i), arqs[i])
 		}
 	}
 
@@ -280,6 +303,7 @@ func Run(cfg Config) (*Result, error) {
 		err      error
 	}
 	sites := make([]*siteState, totalSites)
+	traces := make([]*obs.Tracer, 0, totalSites)
 
 	// Observer wiring: each observer connects to both players.
 	obsConns := make([][2]transport.Conn, cfg.Observers) // observer side
@@ -335,11 +359,15 @@ func Run(cfg Config) (*Result, error) {
 			WaitTimeout:  cfg.WaitTimeout,
 		}
 		st := &siteState{machine: m}
+		so := core.NewSessionObs(reg, site, cfg.TraceEvents, start0)
+		traces = append(traces, so.Tracer)
 		if cfg.Rollback {
 			rs, err := core.NewRollbackSession(sc, v, v.Now(), m, peers, cfg.PredictionWindow)
 			if err != nil {
 				return nil, err
 			}
+			rs.SetObs(so)
+			core.RegisterRollbackMetrics(reg, obs.SiteLabels(site), rs)
 			st.rollback = rs
 		} else {
 			var opts []core.SessionOption
@@ -355,7 +383,12 @@ func Run(cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			ses.SetObs(so)
+			core.RegisterSessionMetrics(reg, obs.SiteLabels(site), ses)
 			st.session = ses
+		}
+		if site < 2 && arqs[site] != nil {
+			arqs[site].SetTracer(site, so.Tracer)
 		}
 		sites[site] = st
 
@@ -416,22 +449,26 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	res := &Result{Elapsed: elapsed, Converged: true}
+	res := &Result{Elapsed: elapsed, Converged: true, Registry: reg, Traces: traces}
+	// Every protocol counter below is read back out of the registry — the
+	// same series a live scrape of obs.Serve would see — rather than from
+	// the session structs directly.
+	final := reg.Snapshot()
 	for site, st := range sites {
 		var frameTimes metrics.Series
 		for _, d := range ts.FrameTimes(site) {
 			frameTimes.AddDuration(d)
 		}
+		sl := obs.SiteLabels(site)
 		sr := SiteResult{
 			FrameTimes: frameTimes.Summarize(),
 			FinalHash:  st.machine.StateHash(),
 			Frames:     st.machine.FrameCount(),
+			Stats:      core.SyncStatsFromSnapshot(final, sl),
 		}
 		if st.rollback != nil {
-			sr.Stats = st.rollback.Sync().Stats()
-			sr.Rollback = st.rollback.Stats()
+			sr.Rollback = core.RollbackStatsFromSnapshot(final, sl)
 		} else {
-			sr.Stats = st.session.Sync().Stats()
 			sr.LagChanges, sr.AvgLag = st.session.LagStats()
 			sr.FinalLag = st.session.Sync().Lag()
 		}
@@ -444,6 +481,10 @@ func Run(cfg Config) (*Result, error) {
 	var sync metrics.Series
 	for _, d := range ts.SyncDiffs(0, 1) {
 		sync.AddDuration(d)
+		if d < 0 {
+			d = -d
+		}
+		skewHist.Observe(int64(d))
 	}
 	res.Sync = sync.Summarize()
 	return res, nil

@@ -41,8 +41,34 @@ type Server struct {
 
 	mu       sync.Mutex
 	sessions map[string]*session
+	joins    int // well-formed JOINs handled
+	notified int // PEER replies sent
+	rejected int // datagrams that failed to parse as JOIN
+	expired  int // sessions dropped by the TTL sweep
 	closed   bool
 	now      func() time.Time // test hook
+}
+
+// Stats is a snapshot of the server's request counters.
+type Stats struct {
+	Joins          int // well-formed JOINs handled
+	PeersNotified  int // PEER replies sent
+	Rejected       int // datagrams that failed to parse as JOIN
+	SessionsActive int // session codes currently pending
+	SessionsAged   int // sessions expired by the TTL sweep
+}
+
+// Stats returns the server's counters; safe to call while Serve runs.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Joins:          s.joins,
+		PeersNotified:  s.notified,
+		Rejected:       s.rejected,
+		SessionsActive: len(s.sessions),
+		SessionsAged:   s.expired,
+	}
 }
 
 // Listen binds a lobby server to addr (e.g. ":7200").
@@ -78,19 +104,27 @@ func (s *Server) Serve() error {
 func (s *Server) handle(msg string, from net.Addr) {
 	fields := strings.Fields(msg)
 	if len(fields) != 3 || fields[0] != "JOIN" {
+		s.mu.Lock()
+		s.rejected++
+		s.mu.Unlock()
 		return
 	}
 	code := fields[1]
 	site, err := strconv.Atoi(fields[2])
 	if err != nil || site < 0 || site > 63 {
+		s.mu.Lock()
+		s.rejected++
+		s.mu.Unlock()
 		return
 	}
 	s.mu.Lock()
+	s.joins++
 	now := s.now()
 	// Expire abandoned sessions so the map stays bounded.
 	for c, old := range s.sessions {
 		if now.Sub(old.lastSeen) > sessionTTL {
 			delete(s.sessions, c)
+			s.expired++
 		}
 	}
 	sess, ok := s.sessions[code]
@@ -114,6 +148,7 @@ func (s *Server) handle(msg string, from net.Addr) {
 	s.mu.Unlock()
 
 	// Once two (or more) sites are present, tell everyone about everyone.
+	sent := 0
 	for _, to := range peers {
 		for _, other := range peers {
 			if other.site == to.site {
@@ -121,7 +156,13 @@ func (s *Server) handle(msg string, from net.Addr) {
 			}
 			reply := fmt.Sprintf("PEER %d %s", other.site, other.addr.String())
 			_, _ = s.pc.WriteTo([]byte(reply), to.addr)
+			sent++
 		}
+	}
+	if sent > 0 {
+		s.mu.Lock()
+		s.notified += sent
+		s.mu.Unlock()
 	}
 }
 

@@ -1,0 +1,38 @@
+package netem
+
+import "retrolock/internal/obs"
+
+// Series names for a link emulator's perturbation bookkeeping. Published as
+// gauges (the emulator counts monotonically, but chaos phase reports diff
+// snapshots, and a gauge keeps Prometheus semantics honest if an emulator is
+// ever swapped mid-run).
+const (
+	MetricLinkPlanned    = "retrolock_link_planned"
+	MetricLinkDropped    = "retrolock_link_dropped"
+	MetricLinkDuplicated = "retrolock_link_duplicated"
+	MetricLinkReordered  = "retrolock_link_reordered"
+	MetricLinkCorrupted  = "retrolock_link_corrupted"
+)
+
+// RegisterLinkMetrics publishes one direction of an emulated link. Each
+// closure snapshots under the emulator's mutex, so scrapes are safe while
+// traffic flows.
+func RegisterLinkMetrics(r *obs.Registry, labels obs.Labels, e *Emulator) {
+	stat := func(pick func(planned, dropped, duplicated, reordered int) int) func() float64 {
+		return func() float64 {
+			return float64(pick(e.Stats()))
+		}
+	}
+	r.GaugeFunc(MetricLinkPlanned, labels, "datagram deliveries planned (copies included)", stat(func(p, _, _, _ int) int { return p }))
+	r.GaugeFunc(MetricLinkDropped, labels, "datagrams dropped by loss model", stat(func(_, d, _, _ int) int { return d }))
+	r.GaugeFunc(MetricLinkDuplicated, labels, "datagrams duplicated", stat(func(_, _, d, _ int) int { return d }))
+	r.GaugeFunc(MetricLinkReordered, labels, "datagrams delayed past a later one", stat(func(_, _, _, re int) int { return re }))
+	r.GaugeFunc(MetricLinkCorrupted, labels, "datagrams with flipped bits", func() float64 { return float64(e.Corrupted()) })
+}
+
+// LinkStatsFromSnapshot reads one direction's counters back out of a
+// registry snapshot.
+func LinkStatsFromSnapshot(snap obs.Snapshot, labels obs.Labels) (planned, dropped, duplicated, reordered, corrupted int) {
+	g := func(name string) int { return int(snap[obs.Key(name, labels)]) }
+	return g(MetricLinkPlanned), g(MetricLinkDropped), g(MetricLinkDuplicated), g(MetricLinkReordered), g(MetricLinkCorrupted)
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Server is the observability HTTP endpoint started by Serve.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// expvarOnce guards the one-time expvar publication: expvar panics on
+// duplicate names, and tests start several servers in one process. The first
+// served registry is the one /debug/vars reflects (alongside the standard
+// memstats/cmdline vars).
+var expvarOnce sync.Once
+
+// NewMux builds the observability mux for a registry:
+//
+//	/metrics        Prometheus text format
+//	/debug/vars     expvar JSON
+//	/debug/pprof/   Go profiling endpoints
+//	/debug/trace    Chrome trace_event JSON of the attached tracers
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/trace", r.TraceHandler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, `<html><body><h1>retrolock observability</h1><ul>
+<li><a href="/metrics">/metrics</a> — Prometheus text format</li>
+<li><a href="/debug/vars">/debug/vars</a> — expvar</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — profiling</li>
+<li><a href="/debug/trace">/debug/trace</a> — Chrome trace_event JSON (open in chrome://tracing)</li>
+</ul></body></html>`)
+	})
+	return mux
+}
+
+// Serve starts the observability endpoint on addr (e.g. ":6060", or
+// "127.0.0.1:0" to pick a free port — read it back from Addr). The server
+// runs until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	expvarOnce.Do(func() {
+		expvar.Publish("retrolock", expvar.Func(func() interface{} { return r.Snapshot() }))
+	})
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(r)}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the listener's address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }

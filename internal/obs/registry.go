@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Labels name one series of a metric, e.g. {"site": "0"}.
+type Labels map[string]string
+
+// Key builds the canonical series key — `name` or `name{k="v",...}` with
+// label keys sorted — used both in Prometheus rendering and in Snapshot maps.
+func Key(name string, labels Labels) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(labels[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// SiteLabels returns the conventional per-site label set.
+func SiteLabels(site int) Labels { return Labels{"site": strconv.Itoa(site)} }
+
+// Snapshot is a point-in-time reading of every registered series, keyed by
+// Key(name, labels). Histograms contribute `<key>_count` and `<key>_sum`
+// entries. Because each series is read independently (lock-free atomics or
+// the owner's own mutex), a snapshot is not a consistent cut across series —
+// it is a monitoring view, not a transaction.
+type Snapshot map[string]float64
+
+// Delta returns the per-key difference cur - prev (keys only in cur keep
+// their value; keys only in prev are dropped).
+func (cur Snapshot) Delta(prev Snapshot) Snapshot {
+	out := make(Snapshot, len(cur))
+	for k, v := range cur {
+		out[k] = v - prev[k]
+	}
+	return out
+}
+
+type series struct {
+	key  string
+	name string
+	help string
+	kind string // "gauge" or "counter"
+	read func() float64
+}
+
+type histSeries struct {
+	name   string
+	labels Labels
+	key    string
+	help   string
+	h      *Histogram
+}
+
+type tracerEntry struct {
+	name string
+	t    *Tracer
+}
+
+// Registry names live metric sources. Registration happens at session setup;
+// reads (Snapshot, WritePrometheus) happen at any time from any goroutine,
+// including while the session's hot path keeps writing the underlying
+// counters. The registry itself holds no metric state — every series is a
+// closure over the owning component's counters, so "the registry" and "the
+// component's stats" can never disagree.
+type Registry struct {
+	mu      sync.Mutex
+	series  []*series
+	hists   []*histSeries
+	tracers []tracerEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) add(s *series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, old := range r.series {
+		if old.key == s.key {
+			panic("obs: duplicate series " + s.key)
+		}
+	}
+	r.series = append(r.series, s)
+}
+
+// GaugeFunc registers a gauge whose value is read live from fn.
+func (r *Registry) GaugeFunc(name string, labels Labels, help string, fn func() float64) {
+	r.add(&series{key: Key(name, labels), name: name, help: help, kind: "gauge", read: fn})
+}
+
+// CounterFunc registers a monotonic counter whose value is read live from fn.
+func (r *Registry) CounterFunc(name string, labels Labels, help string, fn func() float64) {
+	r.add(&series{key: Key(name, labels), name: name, help: help, kind: "counter", read: fn})
+}
+
+// NewCounter registers and returns an owned Counter.
+func (r *Registry) NewCounter(name string, labels Labels, help string) *Counter {
+	c := &Counter{}
+	r.CounterFunc(name, labels, help, func() float64 { return float64(c.Value()) })
+	return c
+}
+
+// NewHistogram registers and returns an owned Histogram.
+func (r *Registry) NewHistogram(name string, labels Labels, help string) *Histogram {
+	h := &Histogram{}
+	copied := make(Labels, len(labels))
+	for k, v := range labels {
+		copied[k] = v
+	}
+	hs := &histSeries{name: name, labels: copied, key: Key(name, labels), help: help, h: h}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, old := range r.hists {
+		if old.key == hs.key {
+			panic("obs: duplicate histogram " + hs.key)
+		}
+	}
+	r.hists = append(r.hists, hs)
+	return h
+}
+
+// AddTracer attaches a tracer to the registry so the HTTP trace endpoint can
+// export it. Tracers merged into one export should share an epoch.
+func (r *Registry) AddTracer(name string, t *Tracer) {
+	if t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tracers = append(r.tracers, tracerEntry{name: name, t: t})
+}
+
+// Tracers returns the attached tracers in registration order.
+func (r *Registry) Tracers() []*Tracer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Tracer, 0, len(r.tracers))
+	for _, e := range r.tracers {
+		out = append(out, e.t)
+	}
+	return out
+}
+
+// Snapshot reads every series once.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	ser := append([]*series(nil), r.series...)
+	hists := append([]*histSeries(nil), r.hists...)
+	r.mu.Unlock()
+	out := make(Snapshot, len(ser)+2*len(hists))
+	for _, s := range ser {
+		out[s.key] = s.read()
+	}
+	for _, hs := range hists {
+		out[hs.key+"_count"] = float64(hs.h.Count())
+		out[hs.key+"_sum"] = float64(hs.h.Sum())
+	}
+	return out
+}
+
+// WritePrometheus renders every series in the Prometheus text exposition
+// format (version 0.0.4). Series are sorted by name for a stable output;
+// histograms render cumulative power-of-two `le` buckets.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	ser := append([]*series(nil), r.series...)
+	hists := append([]*histSeries(nil), r.hists...)
+	r.mu.Unlock()
+
+	sort.Slice(ser, func(i, j int) bool {
+		if ser[i].name != ser[j].name {
+			return ser[i].name < ser[j].name
+		}
+		return ser[i].key < ser[j].key
+	})
+	var b strings.Builder
+	lastName := ""
+	for _, s := range ser {
+		if s.name != lastName {
+			lastName = s.name
+			if s.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", s.name, s.help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.name, s.kind)
+		}
+		fmt.Fprintf(&b, "%s %s\n", s.key, formatFloat(s.read()))
+	}
+
+	sort.Slice(hists, func(i, j int) bool {
+		if hists[i].name != hists[j].name {
+			return hists[i].name < hists[j].name
+		}
+		return hists[i].key < hists[j].key
+	})
+	lastName = ""
+	for _, hs := range hists {
+		if hs.name != lastName {
+			lastName = hs.name
+			if hs.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", hs.name, hs.help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", hs.name)
+		}
+		counts := hs.h.Buckets()
+		hi := 0
+		for i, c := range counts {
+			if c > 0 {
+				hi = i
+			}
+		}
+		le := make(Labels, len(hs.labels)+1)
+		for k, v := range hs.labels {
+			le[k] = v
+		}
+		var cum int64
+		for i := 0; i <= hi; i++ {
+			cum += counts[i]
+			le["le"] = strconv.FormatUint(BucketBound(i), 10)
+			fmt.Fprintf(&b, "%s %d\n", Key(hs.name+"_bucket", le), cum)
+		}
+		le["le"] = "+Inf"
+		fmt.Fprintf(&b, "%s %d\n", Key(hs.name+"_bucket", le), hs.h.Count())
+		fmt.Fprintf(&b, "%s %d\n", Key(hs.name+"_sum", hs.labels), hs.h.Sum())
+		fmt.Fprintf(&b, "%s %d\n", Key(hs.name+"_count", hs.labels), hs.h.Count())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry in Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// TraceHandler serves the attached tracers, merged, as Chrome trace_event
+// JSON (?format=jsonl selects JSONL instead).
+func (r *Registry) TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		tracers := r.Tracers()
+		var events []Event
+		for _, t := range tracers {
+			events = append(events, t.Snapshot()...)
+		}
+		sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+		if req.URL.Query().Get("format") == "jsonl" {
+			w.Header().Set("Content-Type", "application/jsonl")
+			for _, e := range events {
+				fmt.Fprintf(w, `{"at_ns":%d,"kind":%q,"site":%d,"frame":%d,"arg":%d}`+"\n",
+					e.At, e.Kind.String(), e.Site, e.Frame, e.Arg)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteChromeTrace(w, events)
+	})
+}

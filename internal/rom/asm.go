@@ -33,6 +33,12 @@ import (
 // pass two evaluates operand expressions (forward label references are fine
 // anywhere except in .equ/.org/.align/.space sizes) and emits code.
 
+// MaxImageSize caps the assembled image at the RK-32 address space: entry
+// and load addresses are 16-bit, so nothing past 64 KiB is addressable
+// anyway. The cap also stops hostile ".org"/".space" operands from growing
+// the output without bound (the fuzzer found that in about a second).
+const MaxImageSize = 1 << 16
+
 // Assembly is the output of Assemble.
 type Assembly struct {
 	// Code is the flat image, origin 0 (gaps from .org are zero-filled).
@@ -101,6 +107,11 @@ func (a *assembler) scan(lines []string, emit bool) error {
 		a.line = i + 1
 		if err := a.statement(raw); err != nil {
 			return err
+		}
+		// Checked per statement, so pass 1 (which never allocates) rejects
+		// an oversized layout before pass 2 would try to materialize it.
+		if a.pc > MaxImageSize {
+			return a.errf("image exceeds %d bytes (pc=0x%X)", MaxImageSize, a.pc)
 		}
 	}
 	return nil

@@ -1,0 +1,139 @@
+package games
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden replay hashes")
+
+const (
+	goldenSeed   = 0x5EED
+	goldenFrames = 3600 // one minute of gameplay at 60 FPS
+	goldenEvery  = 600  // checkpoint cadence (every 10 s)
+)
+
+// goldenInput is the deterministic synthetic player also used by the
+// experiment harness (harness.PlayerInput): an FNV-1a hash of (seed, site,
+// frame), masked to the site's pad byte. Reimplemented here because games
+// is below harness in the import graph.
+func goldenInput(seed int64, site, frame int) uint16 {
+	h := fnv.New64a()
+	var b [24]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(seed >> (8 * i))
+		b[8+i] = byte(site >> (8 * i))
+		b[16+i] = byte(frame >> (8 * i))
+	}
+	h.Write(b[:])
+	return uint16(h.Sum64()) & 0x00FF << (8 * (site & 1))
+}
+
+// replayHashes plays goldenFrames of the named game with both synthetic
+// players and returns the state hash at every checkpoint frame.
+func replayHashes(t *testing.T, name string) map[int]uint64 {
+	t.Helper()
+	c := mustBoot(t, name)
+	out := make(map[int]uint64, goldenFrames/goldenEvery)
+	for f := 0; f < goldenFrames; f++ {
+		in := goldenInput(goldenSeed, 0, f) | goldenInput(goldenSeed, 1, f)
+		c.StepFrame(in)
+		if c.Halted() {
+			t.Fatalf("%s halted at frame %d during the golden replay", name, f)
+		}
+		if (f+1)%goldenEvery == 0 {
+			out[f+1] = c.StateHash()
+		}
+	}
+	return out
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".txt")
+}
+
+func writeGolden(t *testing.T, name string, hashes map[int]uint64) {
+	t.Helper()
+	path := goldenPath(name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s: state hash every %d frames over a %d-frame seeded replay (seed %#x)\n",
+		name, goldenEvery, goldenFrames, goldenSeed)
+	for f := goldenEvery; f <= goldenFrames; f += goldenEvery {
+		fmt.Fprintf(&sb, "%d %016x\n", f, hashes[f])
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readGolden(t *testing.T, name string) map[int]uint64 {
+	t.Helper()
+	f, err := os.Open(goldenPath(name))
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	defer f.Close()
+	out := map[int]uint64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var frame int
+		var hash uint64
+		if _, err := fmt.Sscanf(line, "%d %x", &frame, &hash); err != nil {
+			t.Fatalf("%s: bad golden line %q: %v", goldenPath(name), line, err)
+		}
+		out[frame] = hash
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestGoldenReplays pins down the exact execution of every shipped game:
+// 3600 frames of seeded two-player input, state-hashed every 600 frames
+// against checked-in goldens. Any change to the VM core, the assembler, the
+// shared library runtime, or a game's source that alters observable
+// behavior shows up here as a hash mismatch — the single-machine analogue
+// of a cross-site divergence. Refresh intentionally with:
+//
+//	go test ./internal/rom/games/ -run TestGoldenReplays -update
+func TestGoldenReplays(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			got := replayHashes(t, name)
+			if *updateGolden {
+				writeGolden(t, name, got)
+				t.Logf("updated %s", goldenPath(name))
+				return
+			}
+			want := readGolden(t, name)
+			if len(want) == 0 {
+				t.Fatalf("%s has no hash lines", goldenPath(name))
+			}
+			for f := goldenEvery; f <= goldenFrames; f += goldenEvery {
+				w, ok := want[f]
+				if !ok {
+					t.Errorf("frame %d: missing from golden file", f)
+					continue
+				}
+				if got[f] != w {
+					t.Errorf("frame %d: state hash %016x, golden %016x", f, got[f], w)
+				}
+			}
+		})
+	}
+}

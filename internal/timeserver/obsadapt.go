@@ -1,0 +1,22 @@
+package timeserver
+
+import "retrolock/internal/obs"
+
+// Series names for the measurement time server.
+const (
+	MetricReports = "retrolock_timeserver_reports"
+	MetricSites   = "retrolock_timeserver_sites"
+)
+
+// RegisterMetrics publishes the live server's recording volume; closures
+// snapshot under the recorder mutex, so scrapes are safe while Serve reads.
+func RegisterMetrics(r *obs.Registry, s *UDPServer) {
+	r.CounterFunc(MetricReports, nil, "frame-begin reports recorded", func() float64 {
+		n, _ := s.ReportCount()
+		return float64(n)
+	})
+	r.GaugeFunc(MetricSites, nil, "distinct sites seen reporting", func() float64 {
+		_, n := s.ReportCount()
+		return float64(n)
+	})
+}

@@ -73,6 +73,17 @@ func (r *recorder) record(site, frame int, at time.Time) {
 	}
 }
 
+// total reports the number of recorded samples across all sites, and the
+// number of sites seen.
+func (r *recorder) total() (reports, sites int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.sites {
+		reports += len(m)
+	}
+	return reports, len(r.sites)
+}
+
 func (r *recorder) samples(site int) []Sample {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -137,6 +148,10 @@ func (s *Server) Stop() {
 
 // Samples returns the recorded frame-begin times of a site, frame-ordered.
 func (s *Server) Samples(site int) []Sample { return s.rec.samples(site) }
+
+// ReportCount returns the number of recorded frame reports across all sites
+// and the number of distinct reporting sites. Safe to call while Run polls.
+func (s *Server) ReportCount() (reports, sites int) { return s.rec.total() }
 
 // FrameTimes returns consecutive frame-begin differences for a site — the
 // per-frame times of experiment series 1. Frames missing a report are
@@ -230,6 +245,10 @@ func (s *UDPServer) Close() error {
 
 // Samples returns the recorded frame-begin times of a site.
 func (s *UDPServer) Samples(site int) []Sample { return s.rec.samples(site) }
+
+// ReportCount mirrors Server.ReportCount for the live server. Safe to call
+// while Serve reads.
+func (s *UDPServer) ReportCount() (reports, sites int) { return s.rec.total() }
 
 // FrameTimes mirrors Server.FrameTimes for the live server.
 func (s *UDPServer) FrameTimes(site int) []time.Duration {

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"retrolock/internal/obs"
 	"retrolock/internal/vclock"
 )
 
@@ -52,6 +53,11 @@ type ARQConn struct {
 	lower Conn
 	clock vclock.Clock
 	rto   time.Duration
+
+	// Optional frame-event tracing (nil-safe): every retransmission is
+	// recorded as an EvRetransmit instant with the segment sequence as Arg.
+	tracer    *obs.Tracer
+	traceSite int
 
 	// Sender state.
 	nextSeq uint32
@@ -172,6 +178,8 @@ func (c *ARQConn) pumpLocked() {
 				seg.rto *= 2
 			}
 			c.retrans++
+			// Frame -1: retransmissions are not tied to a game frame.
+			c.tracer.Record(obs.EvRetransmit, c.traceSite, -1, now, int64(seg.seq))
 			_ = c.transmitLocked(*seg)
 		}
 	}
@@ -234,6 +242,16 @@ func copyPayload(raw []byte) []byte {
 	cp := make([]byte, len(raw)-arqHeaderLen)
 	copy(cp, raw[arqHeaderLen:])
 	return cp
+}
+
+// SetTracer attaches a frame-event tracer; subsequent retransmissions are
+// recorded against site. Safe to call before the connection is driven; not
+// safe concurrently with Send/TryRecv.
+func (c *ARQConn) SetTracer(site int, t *obs.Tracer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracer = t
+	c.traceSite = site
 }
 
 // Flush drives retransmission/ack processing without consuming a datagram.

@@ -1,0 +1,50 @@
+package transport
+
+import "retrolock/internal/obs"
+
+// Series names published by the transport adapters. The chaos harness and
+// experiment tables rebuild ARQStats / discard counts from these, so wire
+// bookkeeping flows through the registry instead of ad-hoc struct plumbing.
+const (
+	MetricARQUnacked    = "retrolock_arq_unacked"
+	MetricARQOOO        = "retrolock_arq_ooo"
+	MetricARQReady      = "retrolock_arq_ready"
+	MetricARQRetrans    = "retrolock_arq_retransmissions"
+	MetricARQFarDropped = "retrolock_arq_far_dropped"
+
+	MetricChecksumDiscarded = "retrolock_checksum_discarded"
+)
+
+// RegisterARQMetrics publishes an ARQ connection's counters and buffer
+// gauges. Each closure takes the connection mutex briefly, so scrapes are
+// safe while the connection is being driven.
+func RegisterARQMetrics(r *obs.Registry, labels obs.Labels, c *ARQConn) {
+	r.GaugeFunc(MetricARQUnacked, labels, "segments awaiting acknowledgement (sender window)", func() float64 { return float64(c.Unacked()) })
+	r.GaugeFunc(MetricARQOOO, labels, "out-of-order segments buffered at the receiver", func() float64 { return float64(c.Stats().OOO) })
+	r.GaugeFunc(MetricARQReady, labels, "in-order segments delivered but not yet consumed", func() float64 { return float64(c.Stats().Ready) })
+	r.CounterFunc(MetricARQRetrans, labels, "lifetime timeout retransmissions", func() float64 { return float64(c.Retransmissions()) })
+	r.CounterFunc(MetricARQFarDropped, labels, "data segments dropped beyond the receive horizon", func() float64 { return float64(c.Stats().FarDropped) })
+}
+
+// ARQStatsFromSnapshot reassembles an ARQStats from the series
+// RegisterARQMetrics publishes under labels.
+func ARQStatsFromSnapshot(snap obs.Snapshot, labels obs.Labels) ARQStats {
+	g := func(name string) float64 { return snap[obs.Key(name, labels)] }
+	return ARQStats{
+		Unacked:         int(g(MetricARQUnacked)),
+		OOO:             int(g(MetricARQOOO)),
+		Ready:           int(g(MetricARQReady)),
+		Retransmissions: int(g(MetricARQRetrans)),
+		FarDropped:      int(g(MetricARQFarDropped)),
+	}
+}
+
+// RegisterChecksumMetrics publishes a checksum wrapper's discard counter.
+func RegisterChecksumMetrics(r *obs.Registry, labels obs.Labels, c *ChecksumConn) {
+	r.CounterFunc(MetricChecksumDiscarded, labels, "datagrams dropped by CRC verification", func() float64 { return float64(c.Discarded()) })
+}
+
+// ChecksumDiscardedFrom reads the discard counter back out of a snapshot.
+func ChecksumDiscardedFrom(snap obs.Snapshot, labels obs.Labels) int {
+	return int(snap[obs.Key(MetricChecksumDiscarded, labels)])
+}
