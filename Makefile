@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify verify-race chaos fuzz bench bench-hotpath
+.PHONY: verify verify-race chaos fuzz bench bench-all bench-hotpath
 
 # Tier 1: the baseline gate — everything builds, every test passes
 # (including the default chaos soaks), then the race detector and the
@@ -31,12 +31,22 @@ fuzz:
 	$(GO) test ./internal/core/ -fuzz FuzzDecodeSnapChunk -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/rom/ -fuzz FuzzDecodeROM -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/rom/games/ -fuzz FuzzAssemble -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/flight/ -fuzz FuzzDecodeBundle -fuzztime $(FUZZTIME)
 
 # The steady-state sync loop with allocs/op; BenchmarkSyncHotPath must
 # report 0 allocs/op (also enforced by TestSyncHotPathDoesNotAllocate).
 bench-hotpath:
 	$(GO) test -run NONE -bench 'SyncHotPath|SyncInputNoWait' -benchmem .
 
-# The full figure-reproduction benchmark suite.
+# The tracked perf surface — the sync hot path and the full frame loop
+# (plain, traced, and with the flight recorder attached) — rendered into
+# the machine-readable $(BENCH_JSON) via cmd/benchjson. CI runs this and
+# uploads the JSON as an artifact.
+BENCH_JSON ?= BENCH_PR4.json
 bench:
+	$(GO) test -run NONE -bench 'SyncHotPath|FrameLoop|SyncInputNoWait' -benchmem . \
+		| $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
+
+# The full figure-reproduction benchmark suite.
+bench-all:
 	$(GO) test -run NONE -bench . -benchmem .

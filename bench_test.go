@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"retrolock/internal/core"
+	"retrolock/internal/flight"
 	"retrolock/internal/harness"
 	"retrolock/internal/netem"
 	"retrolock/internal/obs"
@@ -479,6 +480,62 @@ func BenchmarkSyncHotPathTraced(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		step(frame)
 		frame++
+	}
+}
+
+// BenchmarkSyncHotPathFlight measures the full steady-state frame loop —
+// pacing, sync, real console emulation, state hashing — with the live
+// observability bundle AND the black-box flight recorder attached, snapshot
+// capture forced on every frame (SnapEvery = 1, far past the production
+// cadence). With -benchmem it pins the recorder's zero-allocation property
+// end to end; the CI allocation gate greps this benchmark's allocs/op.
+func BenchmarkSyncHotPathFlight(b *testing.B) {
+	clk := &stepClock{t: time.Unix(0, 0)}
+	c0, c1 := newBenchPipePair()
+	conns := [2]transport.Conn{c0, c1}
+	game := games.MustLoad("pong")
+	image := game.Encode()
+	reg := obs.NewRegistry()
+	var sessions [2]*core.Session
+	for site := 0; site < 2; site++ {
+		console, err := game.Boot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Hash exchange off: the digest broadcast legitimately allocates its
+		// message; RecordFrame still sees every frame's hash.
+		s, err := core.NewSession(core.Config{SiteNo: site, HashInterval: -1}, clk, clk.Now(),
+			console, []core.Peer{{Site: 1 - site, Conn: conns[site]}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.SetObs(core.NewSessionObs(reg, site, 1<<14, clk.Now()))
+		rec := flight.NewRecorder(console, flight.Options{
+			Site: site, Game: "pong", ROM: image, Config: s.Sync().Config(),
+			SnapEvery: 1, Snapshots: 4, Registry: reg,
+		})
+		s.SetFlightRecorder(rec)
+		sessions[site] = s
+	}
+	inputs := [2]func(int) uint16{
+		func(f int) uint16 { return uint16(f) & 0x00FF },
+		func(f int) uint16 { return uint16(f) & 0x00FF << 8 },
+	}
+	step := func() {
+		for site, s := range sessions {
+			if err := s.RunFrames(1, inputs[site], nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		clk.Sleep(core.DefaultSendInterval)
+	}
+	for f := 0; f < 300; f++ { // warm-up to steady-state scratch sizes
+		step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
 	}
 }
 

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestConvert(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+BenchmarkSyncHotPath-8       	 1000000	      1035 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSyncHotPathFlight-8 	    2556	    461660 ns/op	       2 B/op	       0 allocs/op
+BenchmarkFigure1/rtt=0ms-8   	      38	  31338628 ns/op	        16.66 frame-ms	         0.04575 deviation-ms
+PASS
+ok  	retrolock	4.9s
+`
+	var echo bytes.Buffer
+	results, err := convert(strings.NewReader(in), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echo.String() != in {
+		t.Error("input was not echoed verbatim")
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.Name != "BenchmarkSyncHotPath" || r.Iterations != 1000000 ||
+		r.NsPerOp != 1035 || r.BytesPerOp != 0 || r.AllocsPerOp != 0 {
+		t.Errorf("result 0 = %+v", r)
+	}
+	if results[1].AllocsPerOp != 0 || results[1].BytesPerOp != 2 {
+		t.Errorf("result 1 = %+v", results[1])
+	}
+	fig := results[2]
+	if fig.Name != "BenchmarkFigure1/rtt=0ms" || fig.Metrics["frame-ms"] != 16.66 {
+		t.Errorf("result 2 = %+v", fig)
+	}
+	if fig.BytesPerOp != -1 || fig.AllocsPerOp != -1 {
+		t.Errorf("missing -benchmem fields should be -1: %+v", fig)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"ok  	retrolock	4.9s",
+		"goos: linux",
+		"Benchmark alone",
+		"BenchmarkX-8 notanumber 5 ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}

@@ -37,6 +37,9 @@ func chaosSeries(base harness.Config) error {
 		// Keep a frame-event ring per site so -csv runs also get a Chrome
 		// trace of the run's tail (frame spans, stalls, retransmissions).
 		sc.TraceEvents = 1 << 15
+		// Incident bundles from the per-site flight recorders land next to
+		// the CSVs ("" falls back to $RETROLOCK_FLIGHT_DIR).
+		sc.FlightDir = csvTo
 		r, err := chaos.Run(sc)
 		if err != nil {
 			return fmt.Errorf("%s: %w", sc.Name, err)
@@ -44,6 +47,19 @@ func chaosSeries(base harness.Config) error {
 		printChaosReport(r)
 		writeChaosCSV(r)
 		writeChaosTrace(r)
+		if r.Verify() != nil {
+			// The run completed but an invariant failed: snapshot both
+			// sites' black boxes so the failure is triageable offline.
+			dir := csvTo
+			if dir == "" {
+				dir = "."
+			}
+			if paths, derr := r.DumpFlight(dir); derr != nil {
+				fmt.Fprintf(os.Stderr, "flight dump: %v\n", derr)
+			} else {
+				fmt.Printf("  flight bundles: %v (analyze with cmd/triage)\n", paths)
+			}
+		}
 	}
 	return nil
 }

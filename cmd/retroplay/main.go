@@ -25,9 +25,12 @@ import (
 	"hash/fnv"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"retrolock/internal/core"
+	"retrolock/internal/flight"
 	"retrolock/internal/lobby"
 	"retrolock/internal/obs"
 	"retrolock/internal/replay"
@@ -59,6 +62,8 @@ func main() {
 		accept   = flag.Bool("accept-spectators", true, "master only: serve savestates to spectators that connect")
 		obsAddr  = flag.String("obs", "", "serve live metrics/expvar/pprof on this HTTP address (e.g. :6060)")
 		traceOut = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of frame events to this file")
+		flightTo = flag.String("flight-dir", ".", "directory for black-box incident bundles (\"\" disables auto-write)")
+		stallDur = flag.Duration("stall-threshold", 5*time.Second, "declare a liveness-stall incident after waiting this long for the peer (0 = off)")
 	)
 	flag.Parse()
 
@@ -141,6 +146,35 @@ func main() {
 	so := core.NewSessionObs(reg, *site, traceCap, time.Now())
 	ses.SetObs(so)
 	core.RegisterSessionMetrics(reg, obs.SiteLabels(*site), ses)
+
+	// Black-box flight recorder: always on, bounded, and allocation-free in
+	// steady state. It auto-writes an incident bundle on divergence, stall,
+	// or a frame-loop panic; SIGQUIT or GET /debug/flight/dump snapshots it
+	// on demand.
+	fr := flight.NewRecorder(console, flight.Options{
+		Site:           *site,
+		Game:           image.Title,
+		ROM:            image.Encode(),
+		Config:         ses.Sync().Config(),
+		Dir:            *flightTo,
+		StallThreshold: *stallDur,
+		Registry:       reg,
+		Tracer:         so.Tracer,
+	})
+	ses.SetFlightRecorder(fr)
+	reg.AddDump(fmt.Sprintf("site%d", *site), fr.Dump)
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGQUIT)
+	go func() {
+		for range sigs {
+			if path, err := fr.WriteManual(); err != nil {
+				log.Printf("flight dump failed: %v", err)
+			} else {
+				log.Printf("flight bundle written to %s (triage %s)", path, path)
+			}
+		}
+	}()
+
 	if *obsAddr != "" {
 		osrv, err := obs.Serve(*obsAddr, reg)
 		if err != nil {
@@ -178,6 +212,11 @@ func main() {
 		}
 	})
 	if err != nil {
+		if p := fr.BundlePath(); p != "" {
+			log.Printf("incident bundle written to %s (analyze with: triage %s)", p, p)
+		} else if werr := fr.WriteErr(); werr != nil {
+			log.Printf("incident bundle could not be written: %v", werr)
+		}
 		log.Fatalf("session aborted: %v", err)
 	}
 	ses.Drain(3 * time.Second)

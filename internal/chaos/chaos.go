@@ -21,10 +21,14 @@ package chaos
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
 	"retrolock/internal/core"
+	"retrolock/internal/flight"
 	"retrolock/internal/harness"
 	"retrolock/internal/netem"
 	"retrolock/internal/obs"
@@ -99,8 +103,30 @@ type Scenario struct {
 	// mode). The freshest events survive in Report.Traces; zero disables
 	// tracing entirely.
 	TraceEvents int
+	// Corrupt injects a single-byte state corruption into one site's
+	// machine mid-session — a synthetic determinism bug that exercises the
+	// hash-exchange divergence detector and the flight-recorder triage
+	// pipeline end to end.
+	Corrupt *Corruption
+	// FlightDir is where each site's black box auto-writes its incident
+	// bundle. Empty falls back to the RETROLOCK_FLIGHT_DIR environment
+	// variable (how CI collects bundles from failing runs); when both are
+	// empty the recorders still run (they are bounded and cheap) but write
+	// nothing — Report.DumpFlight can still flush them afterwards.
+	FlightDir string
 	// Phases is the fault schedule. Empty means one clean 10 s phase.
 	Phases []Phase
+}
+
+// Corruption is a deliberate mid-session divergence: before executing Frame
+// on the given Site, the byte at Addr is XORed with XOR (which must be
+// non-zero to have any effect). Pick an address the game never writes and
+// the corruption persists into every later state hash.
+type Corruption struct {
+	Site  int
+	Frame int
+	Addr  uint16
+	XOR   byte
 }
 
 func (sc Scenario) withDefaults() Scenario {
@@ -250,6 +276,49 @@ type Report struct {
 	// Traces holds each site's frame-event ring when Spec.TraceEvents > 0
 	// (nil otherwise). Export with obs.WriteChromeTrace / Tracer.WriteJSONL.
 	Traces [2]*obs.Tracer
+
+	// Flight holds each site's black-box recorder; FlightBundles the
+	// incident bundle paths auto-written during the run ("" when that site
+	// wrote none).
+	Flight        [2]*flight.Recorder
+	FlightBundles [2]string
+}
+
+// DumpFlight flushes every site's black box into dir as a manual-kind
+// bundle (the incident bundle verbatim when one already fired) and returns
+// the written paths. The invariant suite's failure path calls this so a red
+// chaos run leaves debuggable artifacts even when no trigger fired
+// in-session.
+func (r *Report) DumpFlight(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	name := strings.Map(func(c rune) rune {
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_' {
+			return c
+		}
+		return '-'
+	}, r.Spec.Name)
+	var out []string
+	for site, rec := range r.Flight {
+		if rec == nil {
+			continue
+		}
+		path := filepath.Join(dir, fmt.Sprintf("chaos-%s-site%d.rkfb", name, site))
+		f, err := os.Create(path)
+		if err != nil {
+			return out, err
+		}
+		err = rec.Dump(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, path)
+	}
+	return out, nil
 }
 
 // snapshot is the cumulative cross-site state at one phase boundary: a
@@ -301,16 +370,23 @@ func (r *recorder) frame(site int, now time.Time) {
 }
 
 // costedMachine adds the configured per-frame emulation cost, on the site's
-// own (possibly skewed) clock.
+// own (possibly skewed) clock, and carries the scenario's corruption
+// injection.
 type costedMachine struct {
 	*vm.Console
-	clock vclock.Clock
-	cost  time.Duration
+	clock   vclock.Clock
+	cost    time.Duration
+	corrupt *Corruption
 }
 
 func (m *costedMachine) StepFrame(input uint16) {
 	if m.cost > 0 {
 		m.clock.Sleep(m.cost)
+	}
+	if m.corrupt != nil && m.Console.FrameCount() == m.corrupt.Frame {
+		// Flip the byte just before the frame executes, so the corruption
+		// lands in exactly Frame's post-transition hash.
+		m.Console.Poke(m.corrupt.Addr, m.Console.Peek(m.corrupt.Addr)^m.corrupt.XOR)
 	}
 	m.Console.StepFrame(input)
 }
@@ -353,15 +429,24 @@ func Run(sc Scenario) (*Report, error) {
 	// snapshots below are registry snapshots, and the per-phase tables are
 	// deltas between them.
 	reg := obs.NewRegistry()
+	flightDir := sc.FlightDir
+	if flightDir == "" {
+		flightDir = os.Getenv("RETROLOCK_FLIGHT_DIR")
+	}
+	romImage := game.Encode()
 	var traces [2]*obs.Tracer
 	var sessions [2]*core.Session
 	var machines [2]*costedMachine
+	var recorders [2]*flight.Recorder
 	for i := 0; i < 2; i++ {
 		console, err := game.Boot()
 		if err != nil {
 			return nil, err
 		}
 		machines[i] = &costedMachine{Console: console, clock: clocks[i], cost: sc.EmulationTime}
+		if sc.Corrupt != nil && sc.Corrupt.Site == i {
+			machines[i].corrupt = sc.Corrupt
+		}
 		cfg := core.Config{
 			SiteNo:      i,
 			NumPlayers:  2,
@@ -387,6 +472,20 @@ func Run(sc Scenario) (*Report, error) {
 				arqs[i].SetTracer(i, traces[i])
 			}
 		}
+		// Every chaos session flies with a black box: the rings are bounded
+		// and the hot path stays allocation-free, so there is no reason to
+		// make it conditional — exactly the always-on posture production
+		// sessions use.
+		recorders[i] = flight.NewRecorder(machines[i], flight.Options{
+			Site:     i,
+			Game:     sc.Game,
+			ROM:      romImage,
+			Config:   sessions[i].Sync().Config(),
+			Dir:      flightDir,
+			Registry: reg,
+			Tracer:   traces[i],
+		})
+		sessions[i].SetFlightRecorder(recorders[i])
 	}
 
 	nph := len(sc.Phases)
@@ -493,6 +592,8 @@ func Run(sc Scenario) (*Report, error) {
 		r.ARQ[site] = transport.ARQStatsFromSnapshot(final, sl)
 		r.ChecksumDiscarded[site] = transport.ChecksumDiscardedFrom(final, sl)
 		r.Traces[site] = traces[site]
+		r.Flight[site] = recorders[site]
+		r.FlightBundles[site] = recorders[site].BundlePath()
 	}
 	if len(hashes[0]) != len(hashes[1]) {
 		r.Converged = false

@@ -1,0 +1,180 @@
+package chaos_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"retrolock/internal/chaos"
+	"retrolock/internal/core"
+	"retrolock/internal/flight"
+)
+
+// TestCorruptionProducesTriageableBundle is the flight recorder's end-to-end
+// acceptance test: a single-byte state corruption injected into one site of
+// an otherwise healthy two-site chaos session must (a) trip the hash-exchange
+// divergence detector, (b) auto-write incident bundles, and (c) triage down —
+// offline, from the bundles alone — to the exact injected frame and the
+// poked RAM address.
+func TestCorruptionProducesTriageableBundle(t *testing.T) {
+	const (
+		pokeFrame = 500
+		pokeAddr  = 0x7ABC
+		pokeXOR   = 0x5A
+	)
+	dir := t.TempDir()
+	sc := chaos.Scenario{
+		Name:        "desync-e2e",
+		Seed:        42,
+		Frames:      1200,
+		FlightDir:   dir,
+		TraceEvents: 1 << 12,
+		Corrupt:     &chaos.Corruption{Site: 1, Frame: pokeFrame, Addr: pokeAddr, XOR: pokeXOR},
+	}
+	_, err := chaos.Run(sc)
+	if err == nil {
+		t.Fatal("corrupted run completed cleanly; want a divergence failure")
+	}
+	var derr *core.DivergenceError
+	if !errors.As(err, &derr) {
+		t.Fatalf("run failed with %v, want a DivergenceError", err)
+	}
+	// The wire-level detection is HashInterval-grained: at or after the
+	// injection, on a digest boundary.
+	if derr.Frame < pokeFrame || derr.Frame >= pokeFrame+2*core.DefaultHashInterval {
+		t.Fatalf("divergence detected at frame %d, injected at %d", derr.Frame, pokeFrame)
+	}
+
+	paths, err := filepath.Glob(filepath.Join(dir, "flight-*.rkfb"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no incident bundles in %s (err=%v)", dir, err)
+	}
+	bundles := map[int]*flight.Bundle{}
+	var all []*flight.Bundle
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := flight.Decode(data)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if b.Manifest.Kind != "desync" {
+			t.Errorf("%s: incident kind %q, want desync", p, b.Manifest.Kind)
+		}
+		bundles[b.Manifest.Site] = b
+		all = append(all, b)
+	}
+	corrupted, ok := bundles[1]
+	if !ok {
+		t.Fatalf("the corrupted site wrote no bundle; got %v", paths)
+	}
+	// The live-telemetry satellites ride along in the bundle: the desync
+	// counter in the metrics snapshot and the incident event in the trace.
+	if !bytes.Contains(corrupted.Metrics, []byte(core.MetricDesyncTotal)) {
+		t.Error("bundle metrics snapshot lacks the desync counter")
+	}
+	if !bytes.Contains(corrupted.Trace, []byte("incident")) {
+		t.Error("bundle trace lacks the incident event")
+	}
+
+	rep, err := flight.Analyze(all...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FirstDivergentFrame != pokeFrame {
+		t.Fatalf("triage bisected frame %d (%s), injected frame was %d",
+			rep.FirstDivergentFrame, rep.Method, pokeFrame)
+	}
+	if rep.NondeterministicSite != 1 {
+		t.Fatalf("triage blamed site %d, corruption was on site 1", rep.NondeterministicSite)
+	}
+	var sa *flight.SiteAnalysis
+	for i := range rep.Sites {
+		if rep.Sites[i].Site == 1 {
+			sa = &rep.Sites[i]
+		}
+	}
+	if sa == nil || sa.ReplayErr != "" {
+		t.Fatalf("no usable replay for site 1: %+v", rep.Sites)
+	}
+	if sa.Deterministic || sa.DeviationFrame != pokeFrame {
+		t.Fatalf("site 1 deviation frame = %d (deterministic=%v), want %d",
+			sa.DeviationFrame, sa.Deterministic, pokeFrame)
+	}
+	if len(sa.Diff) == 0 {
+		t.Fatal("site 1 state diff is empty")
+	}
+	found := false
+	for _, d := range sa.Diff {
+		if d.Kind == flight.DiffRAM && d.Index == pokeAddr {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("state diff does not name the poked address %#x: %v", pokeAddr, sa.Diff)
+	}
+	if len(rep.Timeline) == 0 {
+		t.Error("merged timeline is empty despite tracing being on")
+	}
+}
+
+// TestFlightDirEnvFallback pins the CI collection contract: with
+// Scenario.FlightDir empty, bundles land in $RETROLOCK_FLIGHT_DIR.
+func TestFlightDirEnvFallback(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("RETROLOCK_FLIGHT_DIR", dir)
+	sc := chaos.Scenario{
+		Name:    "desync-env",
+		Seed:    7,
+		Frames:  400,
+		Corrupt: &chaos.Corruption{Site: 0, Frame: 100, Addr: 0x7AB0, XOR: 0x01},
+	}
+	if _, err := chaos.Run(sc); err == nil {
+		t.Fatal("corrupted run completed cleanly")
+	}
+	paths, _ := filepath.Glob(filepath.Join(dir, "flight-*.rkfb"))
+	if len(paths) == 0 {
+		t.Fatalf("no bundles in $RETROLOCK_FLIGHT_DIR (%s)", dir)
+	}
+}
+
+// TestDumpFlightOnCleanRun covers the invariant-failure path's artifact hook:
+// Report.DumpFlight flushes a manual-kind bundle per site even when no
+// trigger fired in-session.
+func TestDumpFlightOnCleanRun(t *testing.T) {
+	r, err := chaos.Run(chaos.Scenario{Name: "clean dump!", Seed: 3, Frames: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	paths, err := r.DumpFlight(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("DumpFlight wrote %d bundles, want 2", len(paths))
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := flight.Decode(data)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if b.Manifest.Kind != "manual" {
+			t.Errorf("%s: kind %q, want manual", p, b.Manifest.Kind)
+		}
+		if len(b.Frames) == 0 {
+			t.Errorf("%s: no frames recorded", p)
+		}
+	}
+}

@@ -50,6 +50,11 @@ type InputSync struct {
 
 	stats syncCounters
 
+	// lastWait is how long the most recent SyncInput blocked (0 when it
+	// did not). Frame-loop local — the session's flight recorder reads it
+	// right after SyncInput returns.
+	lastWait time.Duration
+
 	// Published mirrors of frame-loop state for concurrent pollers. Single
 	// writer (the frame loop) stores, any goroutine loads — same discipline
 	// as syncCounters. They exist so Lag and AllAcked never read the plain
@@ -318,6 +323,7 @@ func (s *InputSync) SyncInput(input uint16, frame int) (uint16, error) {
 		deadline = s.clock.Now().Add(s.cfg.WaitTimeout)
 	}
 	waited := false
+	s.lastWait = 0
 	waitStart := s.clock.Now()
 	for {
 		s.Pump()
@@ -336,6 +342,7 @@ func (s *InputSync) SyncInput(input uint16, frame int) (uint16, error) {
 	if waited {
 		now := s.clock.Now()
 		d := now.Sub(waitStart)
+		s.lastWait = d
 		s.stats.waitTimeNs.Add(int64(d))
 		s.tele.Stall(frame, now, d)
 	}
@@ -678,6 +685,10 @@ func (s *InputSync) InputAt(f int) (input uint16, ok bool) { return s.get(f) }
 // AuthoritativeThrough returns the highest frame for which every player's
 // real input is buffered.
 func (s *InputSync) AuthoritativeThrough() int { return s.completeThrough() }
+
+// LastWait reports how long the most recent SyncInput call blocked (0 when
+// it did not). Only meaningful from the frame loop's own goroutine.
+func (s *InputSync) LastWait() time.Duration { return s.lastWait }
 
 // Lag returns the current local lag in frames. Safe to call from any
 // goroutine (it reads a published mirror of the frame loop's value).

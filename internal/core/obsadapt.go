@@ -24,8 +24,9 @@ const (
 	MetricSyncSnapChunks    = "retrolock_sync_snap_chunks"
 	MetricSyncBufPeak       = "retrolock_sync_buf_peak"
 
-	MetricFrame      = "retrolock_frame"
-	MetricLagChanges = "retrolock_lag_changes"
+	MetricFrame       = "retrolock_frame"
+	MetricLagChanges  = "retrolock_lag_changes"
+	MetricDesyncTotal = "retrolock_desync_total"
 
 	// Histogram names (power-of-two nanosecond buckets, see obs.Histogram).
 	MetricFrameTimeNs = "retrolock_frame_time_ns" // frame wall time
@@ -123,6 +124,7 @@ func RegisterSessionMetrics(r *obs.Registry, labels obs.Labels, s *Session) {
 	RegisterSyncMetrics(r, labels, s.sync)
 	r.GaugeFunc(MetricFrame, labels, "next frame to execute", func() float64 { return float64(s.frame.Load()) })
 	r.CounterFunc(MetricLagChanges, labels, "adaptive-lag retarget count", func() float64 { return float64(s.lagChanges.Load()) })
+	r.CounterFunc(MetricDesyncTotal, labels, "replica divergences detected by the hash exchange", func() float64 { return float64(s.desyncs.Load()) })
 }
 
 // RegisterRollbackMetrics publishes a rollback-baseline session: its sync

@@ -45,6 +45,15 @@ type Session struct {
 	// Divergence detection (nil when disabled).
 	hashes *hashLog
 
+	// Black-box flight recorder (nil when none is attached; see
+	// SetFlightRecorder). stallThreshold caches the recorder's stall
+	// trigger so the frame loop compares a plain field; stallFired keeps
+	// the trigger one-shot; desyncs is atomic for live metric scrapes.
+	flight         FlightRecorder
+	stallThreshold time.Duration
+	stallFired     bool
+	desyncs        atomic.Int64
+
 	// Late-join serving state.
 	joiners map[int]*joinTransfer
 
@@ -239,6 +248,7 @@ func (s *Session) Handshake(timeout time.Duration) error {
 // site's raw input word per frame (ignored for observers); onFrame, when
 // non-nil, observes each executed frame.
 func (s *Session) RunFrames(n int, localInput func(frame int) uint16, onFrame func(FrameInfo)) error {
+	defer s.recoverPanic()
 	for i := 0; i < n; i++ {
 		frame := int(s.frame.Load())
 		// Admit queued joiners here, where the machine state is exactly
@@ -253,16 +263,29 @@ func (s *Session) RunFrames(n int, localInput func(frame int) uint16, onFrame fu
 		}
 		merged, err := s.sync.SyncInput(raw, frame) // step 7
 		if err != nil {
-			return fmt.Errorf("frame %d: %w", frame, err)
+			err = fmt.Errorf("frame %d: %w", frame, err)
+			s.reportFailure(err)
+			return err
+		}
+		if w := s.sync.LastWait(); s.stallThreshold > 0 && w >= s.stallThreshold && !s.stallFired {
+			// The wait cleared (the frame is progressing), but a freeze
+			// this long is an incident worth a black-box dump even though
+			// the session survives it.
+			s.stallFired = true
+			s.incident(IncidentStall, fmt.Errorf("core: frame %d stalled %v (threshold %v)", frame, w, s.stallThreshold))
 		}
 		s.machine.StepFrame(merged) // step 8 (and 9: the VM renders)
 		hash := s.machine.StateHash()
+		if s.flight != nil {
+			s.flight.RecordFrame(frame, merged, hash, s.sync.LastWait())
+		}
 		if s.hashes != nil {
 			s.hashes.record(frame, hash)
 			if frame%s.cfg.HashInterval == 0 {
 				s.broadcastHash(frame, hash)
 			}
 			if err := s.hashes.err(); err != nil {
+				s.reportFailure(err)
 				return err
 			}
 		}

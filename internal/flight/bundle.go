@@ -1,0 +1,372 @@
+// Package flight is the black-box flight recorder and desync triage layer:
+// an always-on, bounded, allocation-conscious recorder attached to every
+// core.Session (a ring of recent merged inputs and per-frame state hashes,
+// periodic savestates, the peer's hash digests, the live trace ring and a
+// metrics snapshot) that, on an incident — replica divergence, liveness
+// stall, frame-loop panic, or an operator request — writes one self-contained
+// versioned bundle; plus the offline analysis (Analyze) that deterministically
+// replays a bundle from its nearest checkpoint to bisect the exact first
+// divergent frame and diff the expected machine state against what the
+// session actually held.
+//
+// The paper's determinism argument (§2, §5) says divergence cannot happen;
+// the flight recorder is the instrument for when it does anyway. A desync at
+// production scale must be diagnosable from a single artifact, not
+// reproducible by luck.
+package flight
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// Bundle container format (little endian):
+//
+//	magic    "RKFB" (4)
+//	version  u16
+//	sections until the CRC trailer, each:
+//	    tag u8, length u32, payload
+//	crc      u32 — FNV-1a/32 of every preceding byte
+//
+// Unknown tags are skipped on decode, so newer recorders stay readable by
+// older triage builds. Decode never panics on corrupt input; every length is
+// bounds-checked before use (FuzzDecodeBundle enforces this).
+const (
+	bundleMagic   = "RKFB"
+	BundleVersion = 1
+)
+
+// Section tags.
+const (
+	secManifest = 1 + iota
+	secROM
+	secFrames
+	secSnapshots
+	secFinal
+	secRemote
+	secTrace
+	secMetrics
+)
+
+// frameRecSize is the encoded size of one FrameRecord: frame u64, input u16,
+// wait u64, hash u64.
+const frameRecSize = 8 + 2 + 8 + 8
+
+// remoteRecSize is the encoded size of one RemoteHash: site u32, frame u64,
+// hash u64.
+const remoteRecSize = 4 + 8 + 8
+
+// FrameRecord is one executed frame as the recorder saw it.
+type FrameRecord struct {
+	// Frame is the executed frame number.
+	Frame int64
+	// Input is the merged input word fed to the machine.
+	Input uint16
+	// Wait is how long SyncInput blocked for this frame (0: it did not).
+	Wait time.Duration
+	// Hash is the machine state hash after the transition — per-frame, so
+	// two bundles bisect the first divergent frame by direct comparison.
+	Hash uint64
+}
+
+// StateSnapshot is a machine savestate captured after executing Frame.
+type StateSnapshot struct {
+	Frame int64
+	State []byte
+}
+
+// RemoteHash is one peer state digest as it arrived on the wire.
+type RemoteHash struct {
+	Site  int
+	Frame int64
+	Hash  uint64
+}
+
+// Manifest identifies the incident and the session it happened in.
+type Manifest struct {
+	Version int    `json:"version"`
+	Site    int    `json:"site"`
+	Kind    string `json:"kind"`
+	// KindCode is the core.IncidentKind numeric value.
+	KindCode int `json:"kind_code"`
+	// Frame is the next frame to execute at incident time.
+	Frame int64  `json:"frame"`
+	Cause string `json:"cause,omitempty"`
+	// Game names the ROM; ROMHash is FNV-1a/64 of the embedded image.
+	Game    string `json:"game,omitempty"`
+	ROMHash uint64 `json:"rom_hash,omitempty"`
+	// Session configuration needed to interpret the record.
+	NumPlayers   int `json:"num_players"`
+	BufFrame     int `json:"buf_frame"`
+	CFPS         int `json:"cfps"`
+	HashInterval int `json:"hash_interval"`
+	StartFrame   int `json:"start_frame"`
+}
+
+// Bundle is one decoded incident bundle — everything triage needs in one
+// self-contained file.
+type Bundle struct {
+	Manifest Manifest
+	// ROM is the encoded "RK32" cartridge image the session ran, embedded
+	// so a bundle replays without access to the original ROM file.
+	ROM []byte
+	// Frames is the recorder's input/hash window, oldest first.
+	Frames []FrameRecord
+	// Snapshots are the periodic savestates, oldest first.
+	Snapshots []StateSnapshot
+	// Final is the machine state captured at incident time (nil when the
+	// machine supports no savestates).
+	Final *StateSnapshot
+	// RemoteHashes is the window of peer digests, oldest first.
+	RemoteHashes []RemoteHash
+	// Trace is the obs tracer ring as JSONL (one event per line).
+	Trace []byte
+	// Metrics is the registry snapshot at incident time, as JSON.
+	Metrics []byte
+}
+
+func appendSection(buf []byte, tag byte, payload []byte) []byte {
+	buf = append(buf, tag)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	return append(buf, payload...)
+}
+
+// Encode serializes the bundle.
+func (b *Bundle) Encode() []byte {
+	manifest, err := json.Marshal(b.Manifest)
+	if err != nil {
+		manifest = []byte("{}") // a Manifest of plain fields cannot fail
+	}
+	size := 16 + len(manifest) + len(b.ROM) + len(b.Trace) + len(b.Metrics) +
+		len(b.Frames)*frameRecSize + len(b.RemoteHashes)*remoteRecSize
+	for _, s := range b.Snapshots {
+		size += 12 + len(s.State)
+	}
+	if b.Final != nil {
+		size += 12 + len(b.Final.State)
+	}
+	buf := make([]byte, 0, size+64)
+	buf = append(buf, bundleMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, BundleVersion)
+	buf = appendSection(buf, secManifest, manifest)
+	if len(b.ROM) > 0 {
+		buf = appendSection(buf, secROM, b.ROM)
+	}
+	if len(b.Frames) > 0 {
+		p := make([]byte, 0, 4+len(b.Frames)*frameRecSize)
+		p = binary.LittleEndian.AppendUint32(p, uint32(len(b.Frames)))
+		for _, f := range b.Frames {
+			p = binary.LittleEndian.AppendUint64(p, uint64(f.Frame))
+			p = binary.LittleEndian.AppendUint16(p, f.Input)
+			p = binary.LittleEndian.AppendUint64(p, uint64(f.Wait))
+			p = binary.LittleEndian.AppendUint64(p, f.Hash)
+		}
+		buf = appendSection(buf, secFrames, p)
+	}
+	if len(b.Snapshots) > 0 {
+		var p []byte
+		p = binary.LittleEndian.AppendUint32(p, uint32(len(b.Snapshots)))
+		for _, s := range b.Snapshots {
+			p = appendSnapshot(p, s)
+		}
+		buf = appendSection(buf, secSnapshots, p)
+	}
+	if b.Final != nil {
+		buf = appendSection(buf, secFinal, appendSnapshot(nil, *b.Final))
+	}
+	if len(b.RemoteHashes) > 0 {
+		p := make([]byte, 0, 4+len(b.RemoteHashes)*remoteRecSize)
+		p = binary.LittleEndian.AppendUint32(p, uint32(len(b.RemoteHashes)))
+		for _, r := range b.RemoteHashes {
+			p = binary.LittleEndian.AppendUint32(p, uint32(int32(r.Site)))
+			p = binary.LittleEndian.AppendUint64(p, uint64(r.Frame))
+			p = binary.LittleEndian.AppendUint64(p, r.Hash)
+		}
+		buf = appendSection(buf, secRemote, p)
+	}
+	if len(b.Trace) > 0 {
+		buf = appendSection(buf, secTrace, b.Trace)
+	}
+	if len(b.Metrics) > 0 {
+		buf = appendSection(buf, secMetrics, b.Metrics)
+	}
+	h := fnv.New32a()
+	h.Write(buf)
+	return binary.LittleEndian.AppendUint32(buf, h.Sum32())
+}
+
+func appendSnapshot(p []byte, s StateSnapshot) []byte {
+	p = binary.LittleEndian.AppendUint64(p, uint64(s.Frame))
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(s.State)))
+	return append(p, s.State...)
+}
+
+func decodeSnapshot(p []byte) (StateSnapshot, []byte, error) {
+	if len(p) < 12 {
+		return StateSnapshot{}, nil, fmt.Errorf("flight: truncated snapshot header")
+	}
+	s := StateSnapshot{Frame: int64(binary.LittleEndian.Uint64(p))}
+	n := int(binary.LittleEndian.Uint32(p[8:]))
+	p = p[12:]
+	if n < 0 || n > len(p) {
+		return StateSnapshot{}, nil, fmt.Errorf("flight: snapshot declares %d bytes, %d available", n, len(p))
+	}
+	s.State = append([]byte(nil), p[:n]...)
+	return s, p[n:], nil
+}
+
+// Decode parses a serialized bundle. It is total: corrupt or truncated input
+// yields an error, never a panic, so triage survives damaged black boxes.
+func Decode(data []byte) (*Bundle, error) {
+	if len(data) < 6+4 {
+		return nil, fmt.Errorf("flight: bundle of %d bytes too short", len(data))
+	}
+	if string(data[:4]) != bundleMagic {
+		return nil, fmt.Errorf("flight: bad magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != BundleVersion {
+		return nil, fmt.Errorf("flight: unsupported bundle version %d", v)
+	}
+	body, crc := data[:len(data)-4], data[len(data)-4:]
+	h := fnv.New32a()
+	h.Write(body)
+	if h.Sum32() != binary.LittleEndian.Uint32(crc) {
+		return nil, fmt.Errorf("flight: checksum mismatch (bundle corrupt)")
+	}
+	b := &Bundle{}
+	sawManifest := false
+	off := 6
+	for off < len(body) {
+		if off+5 > len(body) {
+			return nil, fmt.Errorf("flight: truncated section header at %d", off)
+		}
+		tag := body[off]
+		n := int(binary.LittleEndian.Uint32(body[off+1:]))
+		off += 5
+		if n < 0 || off+n > len(body) {
+			return nil, fmt.Errorf("flight: section %d declares %d bytes, %d available", tag, n, len(body)-off)
+		}
+		p := body[off : off+n]
+		off += n
+		switch tag {
+		case secManifest:
+			if err := json.Unmarshal(p, &b.Manifest); err != nil {
+				return nil, fmt.Errorf("flight: manifest: %w", err)
+			}
+			sawManifest = true
+		case secROM:
+			b.ROM = append([]byte(nil), p...)
+		case secFrames:
+			recs, err := decodeFrames(p)
+			if err != nil {
+				return nil, err
+			}
+			b.Frames = recs
+		case secSnapshots:
+			snaps, err := decodeSnapshots(p)
+			if err != nil {
+				return nil, err
+			}
+			b.Snapshots = snaps
+		case secFinal:
+			s, rest, err := decodeSnapshot(p)
+			if err != nil {
+				return nil, err
+			}
+			if len(rest) != 0 {
+				return nil, fmt.Errorf("flight: %d trailing bytes after final snapshot", len(rest))
+			}
+			b.Final = &s
+		case secRemote:
+			recs, err := decodeRemote(p)
+			if err != nil {
+				return nil, err
+			}
+			b.RemoteHashes = recs
+		case secTrace:
+			b.Trace = append([]byte(nil), p...)
+		case secMetrics:
+			b.Metrics = append([]byte(nil), p...)
+		default:
+			// Unknown section from a newer recorder: skip.
+		}
+	}
+	if !sawManifest {
+		return nil, fmt.Errorf("flight: bundle has no manifest")
+	}
+	return b, nil
+}
+
+func decodeFrames(p []byte) ([]FrameRecord, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("flight: truncated frame section")
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if n < 0 || n > len(p)/frameRecSize {
+		return nil, fmt.Errorf("flight: frame section declares %d records, %d bytes available", n, len(p))
+	}
+	out := make([]FrameRecord, n)
+	for i := range out {
+		out[i] = FrameRecord{
+			Frame: int64(binary.LittleEndian.Uint64(p)),
+			Input: binary.LittleEndian.Uint16(p[8:]),
+			Wait:  time.Duration(binary.LittleEndian.Uint64(p[10:])),
+			Hash:  binary.LittleEndian.Uint64(p[18:]),
+		}
+		p = p[frameRecSize:]
+	}
+	return out, nil
+}
+
+func decodeSnapshots(p []byte) ([]StateSnapshot, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("flight: truncated snapshot section")
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if n < 0 || n > len(p)/12 {
+		return nil, fmt.Errorf("flight: snapshot section declares %d snapshots, %d bytes available", n, len(p))
+	}
+	out := make([]StateSnapshot, 0, n)
+	for i := 0; i < n; i++ {
+		s, rest, err := decodeSnapshot(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		p = rest
+	}
+	return out, nil
+}
+
+func decodeRemote(p []byte) ([]RemoteHash, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("flight: truncated remote-hash section")
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if n < 0 || n > len(p)/remoteRecSize {
+		return nil, fmt.Errorf("flight: remote section declares %d records, %d bytes available", n, len(p))
+	}
+	out := make([]RemoteHash, n)
+	for i := range out {
+		out[i] = RemoteHash{
+			Site:  int(int32(binary.LittleEndian.Uint32(p))),
+			Frame: int64(binary.LittleEndian.Uint64(p[4:])),
+			Hash:  binary.LittleEndian.Uint64(p[12:]),
+		}
+		p = p[remoteRecSize:]
+	}
+	return out, nil
+}
+
+// ROMHash is the FNV-1a/64 digest used for Manifest.ROMHash.
+func ROMHash(image []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(image)
+	return h.Sum64()
+}

@@ -9,9 +9,11 @@ package harness
 import (
 	"fmt"
 	"hash/fnv"
+	"os"
 	"time"
 
 	"retrolock/internal/core"
+	"retrolock/internal/flight"
 	"retrolock/internal/metrics"
 	"retrolock/internal/netem"
 	"retrolock/internal/obs"
@@ -115,6 +117,16 @@ type Config struct {
 	// Result.Traces. Zero disables tracing (histograms and counters are
 	// always collected — they are allocation-free).
 	TraceEvents int
+
+	// FlightDir is where each site's black-box recorder auto-writes its
+	// incident bundle ("" falls back to the RETROLOCK_FLIGHT_DIR
+	// environment variable; recorders are attached to lockstep sessions
+	// either way, and also registered as /debug/flight/dump producers on
+	// Result.Registry).
+	FlightDir string
+	// StallThreshold is the SyncInput wait past which a session declares a
+	// liveness-stall incident (0 disables the trigger).
+	StallThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -184,6 +196,11 @@ type Result struct {
 	// Traces holds each site's frame-event ring when Config.TraceEvents >
 	// 0 (entries nil otherwise).
 	Traces []*obs.Tracer
+	// Flight holds each lockstep site's black-box recorder (entries nil in
+	// rollback mode). FlightBundles lists incident bundle paths the run
+	// auto-wrote, if any.
+	Flight        []*flight.Recorder
+	FlightBundles []string
 }
 
 // PlayerInput synthesizes a deterministic pseudo-random pad byte for a
@@ -324,6 +341,12 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	flightDir := cfg.FlightDir
+	if flightDir == "" {
+		flightDir = os.Getenv("RETROLOCK_FLIGHT_DIR")
+	}
+	romImage := game.Encode()
+	recorders := make([]*flight.Recorder, totalSites)
 
 	mkMachine := func() (*machineUnderTest, error) {
 		console, err := game.Boot()
@@ -385,6 +408,22 @@ func Run(cfg Config) (*Result, error) {
 			}
 			ses.SetObs(so)
 			core.RegisterSessionMetrics(reg, obs.SiteLabels(site), ses)
+			// The black box rides along on every lockstep session: bounded
+			// rings, allocation-free steady state, and a live dump endpoint
+			// on the run's registry.
+			rec := flight.NewRecorder(m, flight.Options{
+				Site:           site,
+				Game:           cfg.Game,
+				ROM:            romImage,
+				Config:         ses.Sync().Config(),
+				Dir:            flightDir,
+				Registry:       reg,
+				Tracer:         so.Tracer,
+				StallThreshold: cfg.StallThreshold,
+			})
+			ses.SetFlightRecorder(rec)
+			reg.AddDump(fmt.Sprintf("site%d", site), rec.Dump)
+			recorders[site] = rec
 			st.session = ses
 		}
 		if site < 2 && arqs[site] != nil {
@@ -449,7 +488,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	res := &Result{Elapsed: elapsed, Converged: true, Registry: reg, Traces: traces}
+	res := &Result{Elapsed: elapsed, Converged: true, Registry: reg, Traces: traces, Flight: recorders}
+	for _, rec := range recorders {
+		if rec != nil && rec.BundlePath() != "" {
+			res.FlightBundles = append(res.FlightBundles, rec.BundlePath())
+		}
+	}
 	// Every protocol counter below is read back out of the registry — the
 	// same series a live scrape of obs.Serve would see — rather than from
 	// the session structs directly.

@@ -49,6 +49,10 @@ const (
 	// EvRollback marks a restore+replay episode of the rollback baseline;
 	// Arg is the rollback depth in frames.
 	EvRollback
+	// EvIncident marks a flight-recorder incident trigger (divergence,
+	// liveness stall, panic, or a manual dump); Arg is the incident kind
+	// code the triggering layer assigned.
+	EvIncident
 )
 
 // String returns the JSONL/trace name of the kind.
@@ -68,6 +72,8 @@ func (k EventKind) String() string {
 		return "stall"
 	case EvRollback:
 		return "rollback"
+	case EvIncident:
+		return "incident"
 	}
 	return "unknown"
 }
@@ -322,4 +328,14 @@ func (o *SessionObs) Rollback(frame int, at time.Time, depth int) {
 		return
 	}
 	o.Tracer.Record(EvRollback, o.Site, frame, at, int64(depth))
+}
+
+// Incident records an incident trigger (flight-recorder dump) with the
+// triggering layer's kind code as the argument, so the live timeline shows
+// exactly when and why the black box fired.
+func (o *SessionObs) Incident(frame int, at time.Time, kind int64) {
+	if o == nil {
+		return
+	}
+	o.Tracer.Record(EvIncident, o.Site, frame, at, kind)
 }

@@ -80,6 +80,11 @@ type tracerEntry struct {
 	t    *Tracer
 }
 
+type dumpEntry struct {
+	name string
+	fn   func(io.Writer) error
+}
+
 // Registry names live metric sources. Registration happens at session setup;
 // reads (Snapshot, WritePrometheus) happen at any time from any goroutine,
 // including while the session's hot path keeps writing the underlying
@@ -91,6 +96,7 @@ type Registry struct {
 	series  []*series
 	hists   []*histSeries
 	tracers []tracerEntry
+	dumps   []dumpEntry
 }
 
 // NewRegistry returns an empty registry.
@@ -163,6 +169,62 @@ func (r *Registry) Tracers() []*Tracer {
 		out = append(out, e.t)
 	}
 	return out
+}
+
+// AddDump registers a named binary dump producer (e.g. a flight recorder's
+// incident bundle), served on demand at /debug/flight/dump. fn is invoked
+// from the HTTP goroutine and must be safe to call while the session runs.
+func (r *Registry) AddDump(name string, fn func(io.Writer) error) {
+	if fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dumps = append(r.dumps, dumpEntry{name: name, fn: fn})
+}
+
+// DumpNames returns the registered dump names in registration order.
+func (r *Registry) DumpNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.dumps))
+	for _, d := range r.dumps {
+		out = append(out, d.name)
+	}
+	return out
+}
+
+// dump looks a dump producer up by name; an empty name selects the sole
+// registered dump (the common single-session case).
+func (r *Registry) dump(name string) (func(io.Writer) error, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if name == "" && len(r.dumps) == 1 {
+		return r.dumps[0].fn, true
+	}
+	for _, d := range r.dumps {
+		if d.name == name {
+			return d.fn, true
+		}
+	}
+	return nil, false
+}
+
+// DumpHandler serves registered dumps: /debug/flight/dump?name=<name> streams
+// one as an attachment (name optional when only one is registered).
+func (r *Registry) DumpHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		name := req.URL.Query().Get("name")
+		fn, ok := r.dump(name)
+		if !ok {
+			http.Error(w, fmt.Sprintf("no flight dump %q (registered: %v)", name, r.DumpNames()),
+				http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="flight.rkfb"`)
+		_ = fn(w)
+	})
 }
 
 // Snapshot reads every series once.

@@ -64,7 +64,15 @@ func (c *Console) StateHash() uint64 {
 
 // Save serializes the complete machine state.
 func (c *Console) Save() []byte {
-	buf := make([]byte, 0, saveLen)
+	return c.AppendSave(make([]byte, 0, saveLen))
+}
+
+// AppendSave appends the savestate image to buf and returns the extended
+// slice. A caller that keeps the returned slice and re-passes buf[:0] (the
+// flight recorder's snapshot ring does) serializes the full state without
+// allocating: the image is a fixed saveLen bytes, so after the first call the
+// buffer never grows again.
+func (c *Console) AppendSave(buf []byte) []byte {
 	buf = append(buf, saveMagic...)
 	buf = binary.LittleEndian.AppendUint16(buf, saveVersion)
 	buf = binary.LittleEndian.AppendUint16(buf, c.pc)
