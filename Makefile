@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify verify-race chaos fuzz bench bench-all bench-hotpath
+.PHONY: verify verify-race chaos fuzz bench bench-all bench-hotpath bench-gate lint
 
 # Tier 1: the baseline gate — everything builds, every test passes
 # (including the default chaos soaks), then the race detector and the
@@ -32,6 +32,7 @@ fuzz:
 	$(GO) test ./internal/rom/ -fuzz FuzzDecodeROM -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/rom/games/ -fuzz FuzzAssemble -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/flight/ -fuzz FuzzDecodeBundle -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/span/ -fuzz FuzzDecodeSpan -fuzztime $(FUZZTIME)
 
 # The steady-state sync loop with allocs/op; BenchmarkSyncHotPath must
 # report 0 allocs/op (also enforced by TestSyncHotPathDoesNotAllocate).
@@ -42,10 +43,24 @@ bench-hotpath:
 # (plain, traced, and with the flight recorder attached) — rendered into
 # the machine-readable $(BENCH_JSON) via cmd/benchjson. CI runs this and
 # uploads the JSON as an artifact.
-BENCH_JSON ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR5.json
 bench:
 	$(GO) test -run NONE -bench 'SyncHotPath|FrameLoop|SyncInputNoWait' -benchmem . \
 		| $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
+
+# Regression gate: rebuild the perf report and diff it against the
+# checked-in baseline with cmd/benchcmp. Fails on a >15% ns/op regression
+# or any allocs/op growth on the sync hot path.
+BENCH_BASELINE ?= BENCH_PR5.json
+bench-gate:
+	$(MAKE) bench BENCH_JSON=BENCH_NEW.json
+	$(GO) run ./cmd/benchcmp $(BENCH_BASELINE) BENCH_NEW.json
+
+# Static analysis beyond go vet. Staticcheck is fetched on demand — CI
+# runs this; locally it needs network the first time.
+lint:
+	$(GO) vet ./...
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@2024.1.1 ./...
 
 # The full figure-reproduction benchmark suite.
 bench-all:

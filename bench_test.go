@@ -483,6 +483,50 @@ func BenchmarkSyncHotPathTraced(b *testing.B) {
 	}
 }
 
+// BenchmarkSyncHotPathSpans is BenchmarkSyncHotPath with input-journey span
+// journals attached to both sites and per-frame exec reports flowing, i.e.
+// the full cross-site tracing pipeline: pressed/sent/received/executed
+// stamps, clock-offset estimation from echoes, and the derived latency and
+// skew histogram observations. The CI allocation gate greps this benchmark's
+// allocs/op — span recording must stay free on the hot path.
+func BenchmarkSyncHotPathSpans(b *testing.B) {
+	clk := &stepClock{t: time.Unix(0, 0)}
+	c0, c1 := newBenchPipePair()
+	reg := obs.NewRegistry()
+	mk := func(site int, conn transport.Conn) *core.InputSync {
+		s, err := core.NewInputSync(core.Config{SiteNo: site}, clk, clk.Now(),
+			[]core.Peer{{Site: 1 - site, Conn: conn}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.SetJournal(core.NewInputJourney(reg, site, clk.Now()))
+		return s
+	}
+	s0, s1 := mk(0, c0), mk(1, c1)
+	step := func(f int) {
+		now := clk.Now()
+		s0.ReportExec(f, now)
+		s1.ReportExec(f, now)
+		if _, err := s0.SyncInput(uint16(f)&0xFF, f); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s1.SyncInput(uint16(f)<<8, f); err != nil {
+			b.Fatal(err)
+		}
+		clk.Sleep(core.DefaultSendInterval)
+	}
+	frame := 0
+	for ; frame < 300; frame++ { // warm-up to steady-state scratch sizes
+		step(frame)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step(frame)
+		frame++
+	}
+}
+
 // BenchmarkSyncHotPathFlight measures the full steady-state frame loop —
 // pacing, sync, real console emulation, state hashing — with the live
 // observability bundle AND the black-box flight recorder attached, snapshot

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var hotGate = regexp.MustCompile(`SyncHotPath|SyncInputNoWait`)
+
+func TestComparePassesWithinThreshold(t *testing.T) {
+	old := []Result{{Name: "BenchmarkSyncHotPath", NsPerOp: 1000, AllocsPerOp: 0}}
+	cur := []Result{{Name: "BenchmarkSyncHotPath", NsPerOp: 1100, AllocsPerOp: 0}}
+	report, failures := compare(old, cur, 0.15, hotGate)
+	if len(failures) != 0 {
+		t.Fatalf("+10%% within a 15%% threshold failed: %v", failures)
+	}
+	if !strings.Contains(report, "BenchmarkSyncHotPath") || !strings.Contains(report, "+10.0%") {
+		t.Fatalf("report missing the delta:\n%s", report)
+	}
+}
+
+func TestCompareFailsOnHotPathRegression(t *testing.T) {
+	old := []Result{{Name: "BenchmarkSyncHotPath", NsPerOp: 1000, AllocsPerOp: 0}}
+	cur := []Result{{Name: "BenchmarkSyncHotPath", NsPerOp: 1200, AllocsPerOp: 0}}
+	_, failures := compare(old, cur, 0.15, hotGate)
+	if len(failures) != 1 {
+		t.Fatalf("+20%% past a 15%% threshold should fail once, got %v", failures)
+	}
+}
+
+func TestCompareFailsOnAnyAllocGrowth(t *testing.T) {
+	old := []Result{{Name: "BenchmarkSyncInputNoWait", NsPerOp: 1000, AllocsPerOp: 0}}
+	cur := []Result{{Name: "BenchmarkSyncInputNoWait", NsPerOp: 900, AllocsPerOp: 1}}
+	_, failures := compare(old, cur, 0.15, hotGate)
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
+		t.Fatalf("0 -> 1 allocs/op on a gated bench should fail, got %v", failures)
+	}
+}
+
+func TestCompareIgnoresUngatedAndNewBenchmarks(t *testing.T) {
+	old := []Result{{Name: "BenchmarkFrameLoop", NsPerOp: 1000, AllocsPerOp: 2}}
+	cur := []Result{
+		{Name: "BenchmarkFrameLoop", NsPerOp: 5000, AllocsPerOp: 9},        // 5x, but not gated
+		{Name: "BenchmarkSyncHotPathSpans", NsPerOp: 1700, AllocsPerOp: 0}, // gated but new
+	}
+	report, failures := compare(old, cur, 0.15, hotGate)
+	if len(failures) != 0 {
+		t.Fatalf("ungated regressions and new benchmarks must not fail: %v", failures)
+	}
+	if !strings.Contains(report, "new") {
+		t.Fatalf("report should mark the new benchmark:\n%s", report)
+	}
+}
+
+func TestCompareMarksVanishedBenchmarks(t *testing.T) {
+	old := []Result{{Name: "BenchmarkGone", NsPerOp: 10}}
+	report, failures := compare(old, nil, 0.15, hotGate)
+	if len(failures) != 0 {
+		t.Fatalf("a vanished benchmark must not fail the gate: %v", failures)
+	}
+	if !strings.Contains(report, "gone") {
+		t.Fatalf("report should mark the vanished benchmark:\n%s", report)
+	}
+}

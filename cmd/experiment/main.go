@@ -7,6 +7,7 @@
 //	experiment -series figure1              # Figure 1: frame time + deviation vs RTT
 //	experiment -series figure2              # Figure 2: cross-site synchrony vs RTT
 //	experiment -series threshold            # §4.2 budget analysis at the knee
+//	experiment -series journey              # input-journey latency + health verdict vs RTT
 //	experiment -series ablation-timer       # Algorithm 4 vs naive pacing
 //	experiment -series ablation-transport   # UDP lockstep vs reliable (TCP-like) transport
 //	experiment -series loss                 # packet-loss sweep (journal extension)
@@ -116,6 +117,14 @@ func main() {
 		printThreshold(points)
 		return nil
 	})
+	run("journey", func(cfg harness.Config) error {
+		points, err := getSweep(cfg)
+		if err != nil {
+			return err
+		}
+		printJourney(points)
+		return nil
+	})
 	run("ablation-timer", ablationTimer)
 	run("ablation-transport", ablationTransport)
 	run("ablation-rollback", ablationRollback)
@@ -214,6 +223,30 @@ func printFigure2(points []harness.SweepPoint) {
 	writeCSV("figure2.csv", "rtt_ms,sync_ms", func(w *os.File) {
 		for _, p := range points {
 			fmt.Fprintf(w, "%d,%.4f\n", p.RTT/time.Millisecond, p.Result.Sync.AbsMean)
+		}
+	})
+}
+
+// printJourney reports what the spans measure directly: the true end-to-end
+// input latency a remote player experiences (press on one site to execution
+// on the other), its local-lag floor, the live skew, and the health SLO
+// verdict — per RTT. Quantiles are histogram bucket upper bounds (powers of
+// two), so adjacent RTTs can share a value.
+func printJourney(points []harness.SweepPoint) {
+	fmt.Println()
+	fmt.Println("Input journey — cross-site latency and session health (site 0)")
+	fmt.Println("  RTT(ms)  cross p50(ms)  cross p90(ms)  local p50(ms)  skew p90(ms)  health")
+	for _, p := range points {
+		il := p.Result.InputLatency(0)
+		fmt.Printf("  %7.0f  %13.1f  %13.1f  %13.1f  %12.1f  %v\n",
+			float64(p.RTT)/float64(time.Millisecond),
+			il.CrossP50, il.CrossP90, il.LocalP50, il.SkewP90, p.Result.Health)
+	}
+	writeCSV("journey.csv", "rtt_ms,cross_p50_ms,cross_p90_ms,local_p50_ms,skew_p90_ms,health", func(w *os.File) {
+		for _, p := range points {
+			il := p.Result.InputLatency(0)
+			fmt.Fprintf(w, "%d,%.2f,%.2f,%.2f,%.2f,%v\n", p.RTT/time.Millisecond,
+				il.CrossP50, il.CrossP90, il.LocalP50, il.SkewP90, p.Result.Health)
 		}
 	})
 }

@@ -147,6 +147,26 @@ func main() {
 	ses.SetObs(so)
 	core.RegisterSessionMetrics(reg, obs.SiteLabels(*site), ses)
 
+	// Input-journey spans: every frame's press/encode/send/recv/merge/exec
+	// legs are stamped into a fixed ring and fold into the cross-site
+	// latency and skew histograms — allocation-free on the hot path.
+	journal := core.NewInputJourney(reg, *site, time.Now())
+	ses.SetJournal(journal)
+
+	// Health SLO engine: grades windowed RTT/skew/frame-time against the
+	// paper's feasibility region; the verdict serves as retrolock_health_state
+	// and GET /healthz, and flips are recorded as tracer incidents.
+	health := obs.NewHealth(obs.HealthConfig{}, obs.HealthSources{
+		FrameTime: so.FrameTime,
+		RTT:       so.RTT,
+		Skew:      journal.Skew,
+		Frames:    func() int64 { return int64(console.FrameCount()) },
+	})
+	if so.Tracer != nil {
+		health.SetTracer(*site, so.Tracer)
+	}
+	health.Register(reg, *site)
+
 	// Black-box flight recorder: always on, bounded, and allocation-free in
 	// steady state. It auto-writes an incident bundle on divergence, stall,
 	// or a frame-loop panic; SIGQUIT or GET /debug/flight/dump snapshots it
@@ -160,6 +180,7 @@ func main() {
 		StallThreshold: *stallDur,
 		Registry:       reg,
 		Tracer:         so.Tracer,
+		Journal:        journal,
 	})
 	ses.SetFlightRecorder(fr)
 	reg.AddDump(fmt.Sprintf("site%d", *site), fr.Dump)
@@ -181,7 +202,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer osrv.Close()
-		log.Printf("observability on http://%s/ (metrics, expvar, pprof, trace)", osrv.Addr())
+		log.Printf("observability on http://%s/ (metrics, healthz, expvar, pprof, trace)", osrv.Addr())
 	}
 
 	log.Print("waiting for the peer (handshake)...")
@@ -204,6 +225,9 @@ func main() {
 	err = ses.RunFrames(n, player.input, func(fi core.FrameInfo) {
 		if rec != nil {
 			rec.OnFrame(fi.Input)
+		}
+		if fi.Frame > 0 && fi.Frame%60 == 0 {
+			health.Evaluate(time.Now())
 		}
 		if *render > 0 && fi.Frame%*render == 0 {
 			fmt.Print("\033[H\033[2J") // clear terminal

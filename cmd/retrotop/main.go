@@ -1,0 +1,199 @@
+// Command retrotop is a live terminal dashboard for running retrolock
+// sessions. It polls the observability endpoint each site exposes (retroplay
+// -obs, or any obs.Serve registry) and renders the numbers the paper's
+// feasibility argument turns on: frame rate, cross-site input latency and
+// skew quantiles, RTT, ARQ pressure, and the health SLO verdict. Point it at
+// both sites to watch a session from both ends:
+//
+//	retrotop http://siteA:9090 http://siteB:9091
+//
+// Flags:
+//
+//	-interval  poll period (default 1s); quantiles are windowed per poll
+//	-once      print a single snapshot and exit (no screen clearing)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+var (
+	interval = flag.Duration("interval", time.Second, "poll period")
+	once     = flag.Bool("once", false, "print one snapshot and exit")
+)
+
+// healthz mirrors obs.HealthSignals' JSON shape.
+type healthz struct {
+	State           string  `json:"state"`
+	Window          int64   `json:"window"`
+	RTTp50          int64   `json:"rtt_p50_ns"`
+	SkewQ           int64   `json:"skew_q_ns"`
+	FrameMean       int64   `json:"frame_mean_ns"`
+	RetransPerFrame float64 `json:"retrans_per_frame"`
+	Transitions     int64   `json:"transitions"`
+}
+
+// site is one polled endpoint and its previous scrape (for windowed rates).
+type site struct {
+	base    string
+	prev    *snapshot
+	prevAt  time.Time
+	lastErr error
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: retrotop [flags] <endpoint> [endpoint]\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 || flag.NArg() > 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	sites := make([]*site, flag.NArg())
+	for i, arg := range flag.Args() {
+		if !strings.Contains(arg, "://") {
+			arg = "http://" + arg
+		}
+		sites[i] = &site{base: strings.TrimRight(arg, "/")}
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	for {
+		var out strings.Builder
+		if !*once {
+			out.WriteString("\033[H\033[2J") // clear terminal
+		}
+		fmt.Fprintf(&out, "retrotop  %s  every %v\n", time.Now().Format("15:04:05"), *interval)
+		for _, s := range sites {
+			renderSite(&out, client, s)
+		}
+		os.Stdout.WriteString(out.String())
+		if *once {
+			for _, s := range sites {
+				if s.lastErr != nil {
+					os.Exit(1)
+				}
+			}
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// renderSite scrapes one endpoint and appends its panel.
+func renderSite(out *strings.Builder, client *http.Client, s *site) {
+	fmt.Fprintf(out, "\n%s\n", s.base)
+	cur, err := scrape(client, s.base+"/metrics")
+	s.lastErr = err
+	if err != nil {
+		fmt.Fprintf(out, "  unreachable: %v\n", err)
+		return
+	}
+	now := time.Now()
+	prev, prevAt := s.prev, s.prevAt
+	s.prev, s.prevAt = cur, now
+
+	hz, hzErr := fetchHealthz(client, s.base+"/healthz")
+	switch {
+	case hzErr != nil:
+		fmt.Fprintf(out, "  health: (no /healthz: %v)\n", hzErr)
+	default:
+		fmt.Fprintf(out, "  health: %-10s window %d  rtt p50 %s  skew %s  frame %s  retrans/frame %.2f  flips %d\n",
+			strings.ToUpper(hz.State), hz.Window, ms(float64(hz.RTTp50)), ms(float64(hz.SkewQ)),
+			ms(float64(hz.FrameMean)), hz.RetransPerFrame, hz.Transitions)
+	}
+
+	frame, _ := cur.get("retrolock_frame")
+	fps := 0.0
+	if prev != nil {
+		if pf, ok := prev.get("retrolock_frame"); ok && now.After(prevAt) {
+			fps = (frame - pf) / now.Sub(prevAt).Seconds()
+		}
+	}
+	fmt.Fprintf(out, "  frame %-8.0f fps %5.1f\n", frame, fps)
+
+	// Windowed histogram quantiles: each poll grades only the samples that
+	// arrived since the previous poll.
+	q := func(name string, qq float64) string {
+		h := cur.hist(name)
+		if h == nil {
+			return "-"
+		}
+		var ph *histSnap
+		if prev != nil {
+			ph = prev.hist(name)
+		}
+		v := h.quantileSince(ph, qq)
+		if v == 0 {
+			return "-"
+		}
+		return ms(v)
+	}
+	fmt.Fprintf(out, "  input  cross p50 %s  p90 %s   local p50 %s   net p50 %s   skew p90 %s\n",
+		q("retrolock_input_latency_ns", 0.5), q("retrolock_input_latency_ns", 0.9),
+		q("retrolock_local_latency_ns", 0.5), q("retrolock_net_latency_ns", 0.5),
+		q("retrolock_exec_skew_ns", 0.9))
+	fmt.Fprintf(out, "  timing frame p90 %s   stall p90 %s   rtt p50 %s\n",
+		q("retrolock_frame_time_ns", 0.9), q("retrolock_stall_ns", 0.9),
+		q("retrolock_rtt_ns", 0.5))
+
+	if unacked, ok := cur.get("retrolock_arq_unacked"); ok {
+		retrans, _ := cur.get("retrolock_arq_retransmissions")
+		rate := 0.0
+		if prev != nil {
+			if pr, ok := prev.get("retrolock_arq_retransmissions"); ok && now.After(prevAt) {
+				rate = (retrans - pr) / now.Sub(prevAt).Seconds()
+			}
+		}
+		fmt.Fprintf(out, "  arq    unacked %.0f  retrans %.0f (%.1f/s)\n", unacked, retrans, rate)
+	}
+	if desync, ok := cur.get("retrolock_desync_total"); ok && desync > 0 {
+		fmt.Fprintf(out, "  !! desync incidents: %.0f\n", desync)
+	}
+}
+
+func scrape(client *http.Client, url string) (*snapshot, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return parseMetrics(resp.Body)
+}
+
+func fetchHealthz(client *http.Client, url string) (*healthz, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	// 503 is the infeasible verdict, still a valid body.
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return nil, fmt.Errorf("%s", resp.Status)
+	}
+	var hz healthz
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		return nil, err
+	}
+	return &hz, nil
+}
+
+// ms renders a nanosecond quantity as milliseconds.
+func ms(ns float64) string {
+	if ns <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fms", ns/1e6)
+}

@@ -34,6 +34,7 @@ import (
 	"retrolock/internal/obs"
 	"retrolock/internal/rom/games"
 	"retrolock/internal/simnet"
+	"retrolock/internal/span"
 	"retrolock/internal/transport"
 	"retrolock/internal/vclock"
 	"retrolock/internal/vm"
@@ -103,6 +104,14 @@ type Scenario struct {
 	// mode). The freshest events survive in Report.Traces; zero disables
 	// tracing entirely.
 	TraceEvents int
+	// HealthEvery, when positive, runs the health SLO engine on site 0,
+	// evaluating one window every HealthEvery frames. Transitions land in
+	// Report.Health with the frame they were detected at — deterministic
+	// under virtual time, so a scenario asserts exact flip frames.
+	HealthEvery int
+	// Health overrides the engine's thresholds (nil = obs defaults). Only
+	// read when HealthEvery > 0.
+	Health *obs.HealthConfig
 	// Corrupt injects a single-byte state corruption into one site's
 	// machine mid-session — a synthetic determinism bug that exercises the
 	// hash-exchange divergence detector and the flight-recorder triage
@@ -116,6 +125,13 @@ type Scenario struct {
 	FlightDir string
 	// Phases is the fault schedule. Empty means one clean 10 s phase.
 	Phases []Phase
+}
+
+// HealthTransition is one health-engine state change, attributed to the
+// frame whose evaluation detected it.
+type HealthTransition struct {
+	Frame    int
+	From, To obs.HealthState
 }
 
 // Corruption is a deliberate mid-session divergence: before executing Frame
@@ -276,6 +292,16 @@ type Report struct {
 	// Traces holds each site's frame-event ring when Spec.TraceEvents > 0
 	// (nil otherwise). Export with obs.WriteChromeTrace / Tracer.WriteJSONL.
 	Traces [2]*obs.Tracer
+
+	// Journals holds each site's input-journey span journal (always on —
+	// the stamping hot path is allocation-free).
+	Journals [2]*span.Journal
+	// Health is the site-0 health-engine outcome when Spec.HealthEvery > 0:
+	// every state transition with the frame it was detected at, the final
+	// verdict, and the last evaluated window's signals.
+	Health       []HealthTransition
+	HealthFinal  obs.HealthState
+	HealthWindow obs.HealthSignals
 
 	// Flight holds each site's black-box recorder; FlightBundles the
 	// incident bundle paths auto-written during the run ("" when that site
@@ -438,6 +464,8 @@ func Run(sc Scenario) (*Report, error) {
 	var sessions [2]*core.Session
 	var machines [2]*costedMachine
 	var recorders [2]*flight.Recorder
+	var sos [2]*obs.SessionObs
+	var journals [2]*span.Journal
 	for i := 0; i < 2; i++ {
 		console, err := game.Boot()
 		if err != nil {
@@ -464,13 +492,20 @@ func Run(sc Scenario) (*Report, error) {
 		if arqs[i] != nil {
 			transport.RegisterARQMetrics(reg, sl, arqs[i])
 		}
-		if sc.TraceEvents > 0 {
-			traces[i] = obs.NewTracer(sc.TraceEvents, Epoch)
-			reg.AddTracer(fmt.Sprintf("site%d", i), traces[i])
-			sessions[i].SetObs(&obs.SessionObs{Site: i, Tracer: traces[i]})
-			if arqs[i] != nil {
-				arqs[i].SetTracer(i, traces[i])
-			}
+		// Frame-time/stall/RTT histograms are always on (the health engine
+		// grades them); the tracer rides along when TraceEvents > 0.
+		sos[i] = core.NewSessionObs(reg, i, sc.TraceEvents, Epoch)
+		traces[i] = sos[i].Tracer
+		sessions[i].SetObs(sos[i])
+		if traces[i] != nil && arqs[i] != nil {
+			arqs[i].SetTracer(i, traces[i])
+		}
+		// Input-journey spans are likewise always on: constant memory,
+		// allocation-free stamping.
+		journals[i] = core.NewInputJourney(reg, i, clocks[i].Now())
+		sessions[i].SetJournal(journals[i])
+		if arqs[i] != nil {
+			arqs[i].SetJournal(journals[i])
 		}
 		// Every chaos session flies with a black box: the rings are bounded
 		// and the hot path stays allocation-free, so there is no reason to
@@ -484,8 +519,41 @@ func Run(sc Scenario) (*Report, error) {
 			Dir:      flightDir,
 			Registry: reg,
 			Tracer:   traces[i],
+			Journal:  journals[i],
 		})
 		sessions[i].SetFlightRecorder(recorders[i])
+	}
+
+	// The health SLO engine watches site 0, fed by its frame-time and RTT
+	// histograms, its journal's skew derivations and the ARQ retransmit
+	// counter; evaluations run from site 0's frame callback at a fixed frame
+	// cadence, so every window boundary — and therefore every verdict flip —
+	// lands on a deterministic frame.
+	var health *obs.Health
+	var healthTrans []HealthTransition
+	healthFrame := 0
+	if sc.HealthEvery > 0 {
+		hcfg := obs.HealthConfig{}
+		if sc.Health != nil {
+			hcfg = *sc.Health
+		}
+		src := obs.HealthSources{
+			FrameTime: sos[0].FrameTime,
+			RTT:       sos[0].RTT,
+			Skew:      journals[0].Skew,
+			Frames:    func() int64 { return int64(machines[0].FrameCount()) },
+		}
+		if arqs[0] != nil {
+			src.Retransmits = func() int64 { return int64(arqs[0].Retransmissions()) }
+		}
+		health = obs.NewHealth(hcfg, src)
+		health.OnTransition = func(from, to obs.HealthState) {
+			healthTrans = append(healthTrans, HealthTransition{Frame: healthFrame, From: from, To: to})
+		}
+		if traces[0] != nil {
+			health.SetTracer(0, traces[0])
+		}
+		health.Register(reg, 0)
 	}
 
 	nph := len(sc.Phases)
@@ -522,6 +590,10 @@ func Run(sc Scenario) (*Report, error) {
 				func(fi core.FrameInfo) {
 					hashes[site] = append(hashes[site], fi.Hash)
 					rec.frame(site, v.Now())
+					if site == 0 && health != nil && fi.Frame > 0 && fi.Frame%sc.HealthEvery == 0 {
+						healthFrame = fi.Frame
+						health.Evaluate(v.Now())
+					}
 				})
 			sessions[site].Drain(5 * time.Second)
 		})
@@ -592,8 +664,14 @@ func Run(sc Scenario) (*Report, error) {
 		r.ARQ[site] = transport.ARQStatsFromSnapshot(final, sl)
 		r.ChecksumDiscarded[site] = transport.ChecksumDiscardedFrom(final, sl)
 		r.Traces[site] = traces[site]
+		r.Journals[site] = journals[site]
 		r.Flight[site] = recorders[site]
 		r.FlightBundles[site] = recorders[site].BundlePath()
+	}
+	if health != nil {
+		r.Health = healthTrans
+		r.HealthFinal = health.State()
+		r.HealthWindow = health.Signals()
 	}
 	if len(hashes[0]) != len(hashes[1]) {
 		r.Converged = false

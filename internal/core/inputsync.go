@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"retrolock/internal/obs"
+	"retrolock/internal/span"
 	"retrolock/internal/vclock"
 )
 
@@ -68,6 +69,17 @@ type InputSync struct {
 	// branch per event on the hot path.
 	tele *obs.SessionObs
 
+	// journal is the optional input-journey span journal; every protocol
+	// hop stamps it (nil-safe, zero-alloc). See internal/span.
+	journal *span.Journal
+
+	// Exec report state: the newest frame this site began executing and its
+	// begin instant (µs since epoch), piggybacked on every outgoing sync
+	// message so the peer can align the two execution timelines.
+	lastExecFrame int
+	lastExecTime  uint32
+	haveExec      bool
+
 	// OnHash, when set, receives peer state digests (divergence
 	// detection); Session wires it to its hash log.
 	OnHash func(site, frame int, hash uint64)
@@ -90,6 +102,10 @@ type peerState struct {
 	echoTime   uint32
 	echoRecvAt time.Time
 	haveEcho   bool
+
+	// offset estimates this peer's clock offset from the same echo
+	// exchanges that feed the RTT estimator (see span.OffsetEstimator).
+	offset span.OffsetEstimator
 }
 
 // Stats counts protocol activity, for the extended experiments. It is a
@@ -169,6 +185,8 @@ func NewInputSync(cfg Config, clock vclock.Clock, epoch time.Time, peers []Peer)
 		pointer:     cfg.StartFrame,
 		ibuf:        newInputRing(cfg.StartFrame),
 		retainFloor: int(^uint(0) >> 1),
+
+		lastExecFrame: -1,
 	}
 	// Initialization (paper §3): the arrays start at BufFrame-1, because
 	// the first BufFrame frames of the game carry no input (local lag).
@@ -219,6 +237,35 @@ func (s *InputSync) Stats() Stats { return s.stats.snapshot() }
 // SetObs attaches an observability bundle (nil detaches). Call before the
 // session starts; the hooks themselves never allocate.
 func (s *InputSync) SetObs(o *obs.SessionObs) { s.tele = o }
+
+// SetJournal attaches an input-journey span journal (nil detaches). Call
+// before the session starts; every stamp is nil-safe and alloc-free.
+func (s *InputSync) SetJournal(j *span.Journal) { s.journal = j }
+
+// Journal returns the attached span journal (nil when none).
+func (s *InputSync) Journal() *span.Journal { return s.journal }
+
+// ReportExec records that this site began executing frame at instant at. The
+// report rides on every subsequent outgoing sync message (execFrame/execTime)
+// and stamps the local journal, so both sites' span timelines close. The
+// frame loop calls it once per frame, right at the frame's begin.
+func (s *InputSync) ReportExec(frame int, at time.Time) {
+	s.lastExecFrame = frame
+	s.lastExecTime = microsSince(s.epoch, at)
+	s.haveExec = true
+	s.journal.StampExecuted(int64(frame), at)
+}
+
+// OffsetTo returns the current clock-offset estimate toward a peer site in
+// microseconds (add to the peer's stamps to express them on the local clock)
+// and whether any estimate exists. Like Stats' peers-map walkers, call it
+// from the frame loop's goroutine (AddJoiner mutates the map mid-session).
+func (s *InputSync) OffsetTo(site int) (int64, bool) {
+	if p, ok := s.peers[site]; ok {
+		return p.offset.OffsetMicros()
+	}
+	return 0, false
+}
 
 // Pointer returns the next frame to be delivered (IBufPointer).
 func (s *InputSync) Pointer() int { return s.pointer }
@@ -309,8 +356,13 @@ func (s *InputSync) SyncInput(input uint16, frame int) (uint16, error) {
 	if !s.cfg.IsObserver() {
 		lagF := frame + s.lag
 		if s.lastRcv[s.cfg.SiteNo] < lagF {
+			pressedAt := time.Time{}
+			if s.journal != nil {
+				pressedAt = s.clock.Now()
+			}
 			for f := s.lastRcv[s.cfg.SiteNo] + 1; f <= lagF; f++ {
 				s.put(f, s.cfg.SiteNo, input)
+				s.journal.StampPressed(int64(f), pressedAt)
 			}
 			s.lastRcv[s.cfg.SiteNo] = lagF
 			s.ownRcvPub.Store(int64(lagF))
@@ -415,6 +467,11 @@ func (s *InputSync) sendTo(p *peerState, now time.Time) {
 		m.EchoTime = p.echoTime
 		m.EchoDelay = uint32(now.Sub(p.echoRecvAt) / time.Microsecond)
 	}
+	if s.haveExec {
+		m.HasExec = true
+		m.ExecFrame = int32(s.lastExecFrame)
+		m.ExecTime = s.lastExecTime
+	}
 
 	// sd[1]..sd[2]: the unacked input backlog. To player peers a player
 	// sends its own partial inputs; to observer peers it forwards the
@@ -458,6 +515,9 @@ func (s *InputSync) sendTo(p *peerState, now time.Time) {
 	s.stats.bytesSent.Add(int64(len(s.sendBuf)))
 	s.stats.inputsSent.Add(int64(len(m.Inputs)))
 	s.tele.InputSend(s.pointer, now, len(s.sendBuf))
+	if s.journal != nil && !forwarding && len(m.Inputs) > 0 {
+		s.journal.StampSendRange(int64(m.From), int64(m.To), now)
+	}
 }
 
 // handle processes one received datagram from peer p (lines 12-20).
@@ -511,6 +571,10 @@ func (s *InputSync) handleSync(p *peerState, m syncMsg) {
 		if sample := elapsed - hold; sample >= 0 && sample < time.Minute {
 			p.rtt.Sample(sample)
 			s.tele.RTTSample(sample)
+			// The same four instants are an NTP exchange: they bound the
+			// peer's clock offset, which maps its timestamps (send instants,
+			// exec reports) onto the local timeline for the span journal.
+			p.offset.AddEcho(m.EchoTime, m.EchoDelay, m.SendTime, microsSince(s.epoch, now))
 		}
 	}
 	// Remember the peer's freshest timestamp to echo back.
@@ -569,15 +633,36 @@ func (s *InputSync) handleSync(p *peerState, m syncMsg) {
 			s.put(int(m.From)+i, m.Sender, in)
 		}
 		// Lines 14-16.
-		if int(m.To) > s.lastRcv[m.Sender] {
-			s.stats.inputsFresh.Add(int64(int(m.To) - s.lastRcv[m.Sender]))
-			s.stats.inputsDup.Add(int64(len(m.Inputs) - (int(m.To) - s.lastRcv[m.Sender])))
+		if prev := s.lastRcv[m.Sender]; int(m.To) > prev {
+			s.stats.inputsFresh.Add(int64(int(m.To) - prev))
+			s.stats.inputsDup.Add(int64(len(m.Inputs) - (int(m.To) - prev)))
 			s.lastRcv[m.Sender] = int(m.To)
 			// For site 0 this is MasterRcvTime (§3.2): when the
 			// freshest master input arrived.
 			s.rcvAt[m.Sender] = now
+			if s.journal != nil {
+				// Stamp the freshly arrived frames. The peer's send instant
+				// maps to the local clock once the offset estimate exists
+				// (0 = unmapped: the span keeps the local receive instants
+				// but yields no one-way latency sample).
+				remoteNs := s.mapRemoteMicros(p, m.SendTime, now)
+				for f := prev + 1; f <= int(m.To); f++ {
+					s.journal.StampRecv(int64(f), now, remoteNs)
+				}
+			}
 		} else {
 			s.stats.inputsDup.Add(int64(len(m.Inputs)))
+		}
+	}
+
+	// The peer's exec report closes cross-site spans: its begin instant of
+	// ExecFrame, mapped onto the local clock, is both this frame's remote
+	// execution stamp (skew) and — shifted by the local lag — the press
+	// instant of the input taking effect at ExecFrame+lag (end-to-end
+	// cross-site input latency).
+	if m.HasExec && s.journal != nil {
+		if remoteNs := s.mapRemoteMicros(p, m.ExecTime, now); remoteNs > 0 {
+			s.journal.StampRemoteExec(int64(m.ExecFrame), remoteNs, int64(s.lag))
 		}
 	}
 
@@ -587,6 +672,17 @@ func (s *InputSync) handleSync(p *peerState, m syncMsg) {
 		s.republishAcks()
 		s.retire()
 	}
+}
+
+// mapRemoteMicros maps a peer microsecond stamp onto the local nanosecond
+// timeline through the peer's clock-offset estimate; 0 when no estimate
+// exists yet (or the mapping lands before the epoch).
+func (s *InputSync) mapRemoteMicros(p *peerState, stamp uint32, now time.Time) int64 {
+	off, ok := p.offset.OffsetMicros()
+	if !ok {
+		return 0
+	}
+	return span.MapRemoteMicros(stamp, off, microsSince(s.epoch, now), now.Sub(s.epoch).Nanoseconds())
 }
 
 // MasterView is the slave's knowledge of the master site's progress, the

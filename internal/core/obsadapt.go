@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"retrolock/internal/obs"
+	"retrolock/internal/span"
 )
 
 // Series names published by the adapters below. Counters are cumulative
@@ -33,6 +34,12 @@ const (
 	MetricStallNs     = "retrolock_stall_ns"      // individual SyncInput stalls
 	MetricRTTNs       = "retrolock_rtt_ns"        // per-peer RTT samples
 	MetricSkewNs      = "retrolock_skew_ns"       // cross-site frame-begin skew
+
+	// Input-journey histograms derived from span.Journal stamps.
+	MetricInputLatencyNs = "retrolock_input_latency_ns" // peer press -> local execution
+	MetricLocalLatencyNs = "retrolock_local_latency_ns" // own press -> own execution
+	MetricNetLatencyNs   = "retrolock_net_latency_ns"   // peer send -> local receive (one-way)
+	MetricExecSkewNs     = "retrolock_exec_skew_ns"     // |local begin - remote begin| per frame
 
 	MetricRollbacks         = "retrolock_rollback_rollbacks"
 	MetricRollbackReplayed  = "retrolock_rollback_replayed_frames"
@@ -101,6 +108,21 @@ func NewSessionObs(r *obs.Registry, site, traceCap int, epoch time.Time) *obs.Se
 		r.AddTracer(fmt.Sprintf("site%d", site), so.Tracer)
 	}
 	return so
+}
+
+// NewInputJourney builds a span journal wired to registered histograms for
+// the four derived input-journey series (cross-site latency, local latency,
+// one-way network latency, execution skew) under the site's labels. Attach
+// the result with (*Session).SetJournal / (*InputSync).SetJournal and
+// transport.ARQConn.SetJournal.
+func NewInputJourney(r *obs.Registry, site int, epoch time.Time) *span.Journal {
+	sl := obs.SiteLabels(site)
+	j := span.NewJournal(epoch, 0)
+	j.Cross = r.NewHistogram(MetricInputLatencyNs, sl, "cross-site input latency: peer press to local execution")
+	j.Local = r.NewHistogram(MetricLocalLatencyNs, sl, "local input latency: own press to own execution (the local-lag cost)")
+	j.Net = r.NewHistogram(MetricNetLatencyNs, sl, "one-way network latency: peer send to local receive, via the clock-offset estimate")
+	j.Skew = r.NewHistogram(MetricExecSkewNs, sl, "per-frame execution skew between the two sites")
+	return j
 }
 
 // RollbackStatsFromSnapshot reassembles a RollbackStats from the series

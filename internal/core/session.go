@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"retrolock/internal/obs"
+	"retrolock/internal/span"
 	"retrolock/internal/vclock"
 )
 
@@ -156,6 +157,14 @@ func (s *Session) SetObs(o *obs.SessionObs) {
 	s.sync.SetObs(o)
 }
 
+// SetJournal attaches an input-journey span journal to the session and its
+// sync module (nil detaches). Call before the frame loop starts; every stamp
+// on the hot path is nil-safe and alloc-free (see internal/span).
+func (s *Session) SetJournal(j *span.Journal) { s.sync.SetJournal(j) }
+
+// Journal returns the attached span journal (nil when none).
+func (s *Session) Journal() *span.Journal { return s.sync.Journal() }
+
 // Machine returns the wrapped game machine.
 func (s *Session) Machine() Machine { return s.machine }
 
@@ -257,6 +266,10 @@ func (s *Session) RunFrames(n int, localInput func(frame int) uint16, onFrame fu
 		s.adaptLag(frame)
 		s.pacer.BeginFrame(frame, s.sync.MasterView()) // step 5
 		s.tele.FrameStart(frame, s.pacer.FrameStart())
+		// The exec report: stamps the journal's Executed hop and piggybacks
+		// this frame's begin instant on outgoing sync traffic so the peer
+		// can close its cross-site spans.
+		s.sync.ReportExec(frame, s.pacer.FrameStart())
 		var raw uint16
 		if localInput != nil {
 			raw = localInput(frame) // step 6
@@ -275,6 +288,9 @@ func (s *Session) RunFrames(n int, localInput func(frame int) uint16, onFrame fu
 			s.incident(IncidentStall, fmt.Errorf("core: frame %d stalled %v (threshold %v)", frame, w, s.stallThreshold))
 		}
 		s.machine.StepFrame(merged) // step 8 (and 9: the VM renders)
+		if j := s.sync.journal; j != nil {
+			j.StampRendered(int64(frame), s.clock.Now())
+		}
 		hash := s.machine.StateHash()
 		if s.flight != nil {
 			s.flight.RecordFrame(frame, merged, hash, s.sync.LastWait())

@@ -23,7 +23,15 @@ import (
 //	              state explicit on the wire: a message stamped exactly 0 µs
 //	              after the epoch and echoed with zero hold is still a
 //	              valid RTT sample, not a missing one.
-//	26     2n    inputs     — the sender's partial inputs for from..to
+//	26     4     execFrame  — 1 + the newest frame the sender began
+//	              executing; 0 means "none yet" (same bias trick as
+//	              echoDelay: frame 0 stays representable).
+//	30     4     execTime   — sender clock at that frame's begin, µs mod
+//	              2^32. Together with the receiver's clock-offset estimate
+//	              this aligns the two sites' execution timelines, feeding
+//	              the live cross-site input-latency and skew histograms
+//	              (internal/span).
+//	34     2n    inputs     — the sender's partial inputs for from..to
 //
 // The payload length is fully determined by from/to and must match the
 // datagram size exactly; ranges longer than maxInputsPerMsg are rejected
@@ -45,7 +53,7 @@ const (
 	msgSnapChunk = byte(5)
 	msgSnapAck   = byte(6)
 
-	syncHeaderLen = 26
+	syncHeaderLen = 34
 
 	// maxInputsPerMsg bounds a sync payload; longer backlogs are sent
 	// across several paced messages.
@@ -72,6 +80,12 @@ type syncMsg struct {
 	EchoTime  uint32
 	EchoDelay uint32
 	HasEcho   bool // EchoTime/EchoDelay carry a real echo (wire: echoDelay != 0)
+	// ExecFrame/ExecTime report the newest frame the sender began executing
+	// and the sender-clock instant of that begin (µs mod 2^32); HasExec is
+	// false before the sender executed anything (wire: execFrame == 0).
+	ExecFrame int32
+	ExecTime  uint32
+	HasExec   bool
 	Inputs    []uint16
 }
 
@@ -97,6 +111,12 @@ func encodeSync(buf []byte, m syncMsg) []byte {
 		delay = m.EchoDelay + 1 // biased; see the wire-format comment
 	}
 	binary.LittleEndian.PutUint32(buf[22:], delay)
+	exec := uint32(0)
+	if m.HasExec {
+		exec = uint32(m.ExecFrame) + 1 // biased; see the wire-format comment
+	}
+	binary.LittleEndian.PutUint32(buf[26:], exec)
+	binary.LittleEndian.PutUint32(buf[30:], m.ExecTime)
 	for i, in := range m.Inputs {
 		binary.LittleEndian.PutUint16(buf[syncHeaderLen+2*i:], in)
 	}
@@ -128,6 +148,11 @@ func decodeSyncInto(p []byte, scratch []uint16) (syncMsg, error) {
 	if delay := binary.LittleEndian.Uint32(p[22:]); delay != 0 {
 		m.HasEcho = true
 		m.EchoDelay = delay - 1
+	}
+	if exec := binary.LittleEndian.Uint32(p[26:]); exec != 0 {
+		m.HasExec = true
+		m.ExecFrame = int32(exec - 1)
+		m.ExecTime = binary.LittleEndian.Uint32(p[30:])
 	}
 	// 64-bit arithmetic: a hostile from/to pair must not wrap int32 into a
 	// small "valid" payload length.

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"time"
+
+	"retrolock/internal/span"
 )
 
 // Bundle container format (little endian):
@@ -49,6 +51,7 @@ const (
 	secRemote
 	secTrace
 	secMetrics
+	secSpans // input-journey span export (span.AppendSpans blob); added in PR 5
 )
 
 // frameRecSize is the encoded size of one FrameRecord: frame u64, input u16,
@@ -126,6 +129,12 @@ type Bundle struct {
 	Trace []byte
 	// Metrics is the registry snapshot at incident time, as JSON.
 	Metrics []byte
+	// Spans is the input-journey journal window at incident time, oldest
+	// first — per-frame press/send/receive/execute instants, so triage can
+	// show what input latency looked like around the divergence. Bundles
+	// written before PR 5 (and readers older than it) simply omit the
+	// section.
+	Spans []span.Span
 }
 
 func appendSection(buf []byte, tag byte, payload []byte) []byte {
@@ -141,7 +150,8 @@ func (b *Bundle) Encode() []byte {
 		manifest = []byte("{}") // a Manifest of plain fields cannot fail
 	}
 	size := 16 + len(manifest) + len(b.ROM) + len(b.Trace) + len(b.Metrics) +
-		len(b.Frames)*frameRecSize + len(b.RemoteHashes)*remoteRecSize
+		len(b.Frames)*frameRecSize + len(b.RemoteHashes)*remoteRecSize +
+		len(b.Spans)*span.RecordSize + 16
 	for _, s := range b.Snapshots {
 		size += 12 + len(s.State)
 	}
@@ -192,6 +202,9 @@ func (b *Bundle) Encode() []byte {
 	}
 	if len(b.Metrics) > 0 {
 		buf = appendSection(buf, secMetrics, b.Metrics)
+	}
+	if len(b.Spans) > 0 {
+		buf = appendSection(buf, secSpans, span.AppendSpans(nil, b.Spans))
 	}
 	h := fnv.New32a()
 	h.Write(buf)
@@ -290,6 +303,12 @@ func Decode(data []byte) (*Bundle, error) {
 			b.Trace = append([]byte(nil), p...)
 		case secMetrics:
 			b.Metrics = append([]byte(nil), p...)
+		case secSpans:
+			spans, err := span.DecodeSpans(p)
+			if err != nil {
+				return nil, fmt.Errorf("flight: spans: %w", err)
+			}
+			b.Spans = spans
 		default:
 			// Unknown section from a newer recorder: skip.
 		}

@@ -12,6 +12,7 @@ import (
 
 	"retrolock/internal/core"
 	"retrolock/internal/obs"
+	"retrolock/internal/span"
 )
 
 // Defaults for Options zero values.
@@ -68,6 +69,9 @@ type Options struct {
 	Registry *obs.Registry
 	// Tracer, when non-nil, contributes its event ring as JSONL.
 	Tracer *obs.Tracer
+	// Journal, when non-nil, contributes the input-journey span window, so
+	// triage can reconstruct per-input latency around the incident.
+	Journal *span.Journal
 }
 
 func (o Options) withDefaults() Options {
@@ -101,9 +105,9 @@ type snapSlot struct {
 // or a SIGQUIT handler may read concurrently. The steady-state paths
 // (RecordFrame, RecordRemoteHash) never allocate.
 type Recorder struct {
-	opts    Options
-	machine core.Machine
-	saver   core.Snapshotter // nil when the machine has no savestates
+	opts     Options
+	machine  core.Machine
+	saver    core.Snapshotter // nil when the machine has no savestates
 	appender appendSaver      // nil when Save must be used instead
 
 	mu      sync.Mutex
@@ -301,6 +305,9 @@ func (r *Recorder) buildLocked(kind core.IncidentKind, cause error) *Bundle {
 		if m, err := json.Marshal(r.opts.Registry.Snapshot()); err == nil {
 			b.Metrics = m
 		}
+	}
+	if r.opts.Journal != nil {
+		b.Spans = r.opts.Journal.Spans()
 	}
 	return b
 }

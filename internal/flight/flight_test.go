@@ -13,6 +13,7 @@ import (
 	"retrolock/internal/core"
 	"retrolock/internal/flight"
 	"retrolock/internal/rom/games"
+	"retrolock/internal/span"
 	"retrolock/internal/vm"
 )
 
@@ -70,6 +71,10 @@ func TestBundleRoundTrip(t *testing.T) {
 		RemoteHashes: []flight.RemoteHash{{Site: 0, Frame: 540, Hash: 9}},
 		Trace:        []byte(`{"kind":"frame"}` + "\n"),
 		Metrics:      []byte(`{"retrolock_desync_total":1}`),
+		Spans: []span.Span{
+			{Frame: 539, Pressed: 1, Sent: 2, Executed: 100, RemotePressed: 50, Retransmits: 1},
+			{Frame: 540, Pressed: 3, Executed: 120, RemoteExec: 118},
+		},
 	}
 	got, err := flight.Decode(b.Encode())
 	if err != nil {
@@ -344,5 +349,70 @@ func TestTriageTwoBundles(t *testing.T) {
 	}
 	if sa := rep.Sites[0]; !sa.Deterministic {
 		t.Fatalf("healthy site 0 flagged nondeterministic: %+v", sa)
+	}
+}
+
+// TestTriageSpanLatencyRows checks that a journal attached to the recorder
+// surfaces per-input latency rows around the divergence frame, in both the
+// structured report and the verbose rendering.
+func TestTriageSpanLatencyRows(t *testing.T) {
+	const (
+		pokeFrame = 200
+		pokeAddr  = 0x7ABC
+		pokeXOR   = 0x5A
+	)
+	epoch := time.Unix(0, 0)
+	j := span.NewJournal(epoch, 512)
+	at := func(f int64, off time.Duration) time.Time {
+		return epoch.Add(time.Duration(f)*16670*time.Microsecond + off)
+	}
+	for f := int64(190); f <= 260; f++ {
+		j.StampPressed(f, at(f-6, 0)) // frame f's input pressed one lag (6 frames) early
+		j.StampRecv(f, at(f, -2*time.Millisecond), 0)
+		j.StampRemoteExec(f-6, at(f-6, 0).Sub(epoch).Nanoseconds(), 6)
+		j.StampExecuted(f, at(f, 0))
+	}
+	rec, _ := recordRun(t, flight.Options{
+		Site: 1, InputWindow: 128, SnapEvery: 50, Snapshots: 4, Journal: j,
+	}, 260, pokeFrame, pokeAddr, pokeXOR)
+	rec.Incident(core.IncidentDesync, fmt.Errorf("synthetic"))
+	b, err := flight.Decode(rec.Bundle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Spans) == 0 {
+		t.Fatal("bundle carries no spans despite an attached journal")
+	}
+	rep, err := flight.Analyze(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FirstDivergentFrame != pokeFrame {
+		t.Fatalf("first divergent frame = %d, want %d", rep.FirstDivergentFrame, pokeFrame)
+	}
+	var atPoke *flight.InputLatencyRow
+	for i := range rep.InputLatency {
+		row := &rep.InputLatency[i]
+		if row.Frame < pokeFrame-30 || row.Frame > pokeFrame+30 {
+			t.Fatalf("latency row for frame %d outside the ±30 window", row.Frame)
+		}
+		if row.Frame == pokeFrame {
+			atPoke = row
+		}
+	}
+	if atPoke == nil {
+		t.Fatal("no latency row at the divergence frame")
+	}
+	wantLag := int64(6 * 16670 * time.Microsecond)
+	if atPoke.LocalNs != wantLag {
+		t.Errorf("local latency at divergence = %d, want the %d lag", atPoke.LocalNs, wantLag)
+	}
+	if atPoke.CrossNs != wantLag {
+		t.Errorf("cross latency at divergence = %d, want %d", atPoke.CrossNs, wantLag)
+	}
+	var out bytes.Buffer
+	rep.Format(&out, true)
+	if !strings.Contains(out.String(), "input latency") {
+		t.Fatalf("verbose report lacks the input-latency table:\n%s", out.String())
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"retrolock/internal/core"
 	"retrolock/internal/flight"
+	"retrolock/internal/span"
 )
 
 // FuzzDecodeBundle throws arbitrary bytes at the incident-bundle parser,
@@ -40,6 +41,7 @@ func FuzzDecodeBundle(f *testing.F) {
 		RemoteHashes: []flight.RemoteHash{{Site: 0, Frame: 9, Hash: 8}},
 		Trace:        []byte("{}\n"),
 		Metrics:      []byte("{}"),
+		Spans:        []span.Span{{Frame: 9, Pressed: 1, Executed: 2, RemotePressed: 1, Retransmits: 3}},
 	}).Encode()
 	f.Add(withAll)
 

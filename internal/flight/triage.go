@@ -84,6 +84,25 @@ type TimelineEvent struct {
 	Arg   int64  `json:"arg"`
 }
 
+// InputLatencyRow is one frame's input-journey measurements from a bundle's
+// span section, reported around the divergence frame. Durations are ns; 0
+// means the journey leg never closed (endpoint unstamped or offset unknown).
+type InputLatencyRow struct {
+	Site  int   `json:"site"`
+	Frame int64 `json:"frame"`
+	// CrossNs is the end-to-end cross-site input latency: peer press to
+	// local execution.
+	CrossNs int64 `json:"cross_ns,omitempty"`
+	// LocalNs is the local-lag latency: own press to own execution.
+	LocalNs int64 `json:"local_ns,omitempty"`
+	// NetNs is the one-way wire latency: peer send to local receive.
+	NetNs int64 `json:"net_ns,omitempty"`
+	// SkewNs is |local frame begin - remote frame begin|.
+	SkewNs int64 `json:"skew_ns,omitempty"`
+	// Retransmits counts ARQ retransmissions attributed to this frame.
+	Retransmits int64 `json:"retransmits,omitempty"`
+}
+
 // Report is the triage outcome.
 type Report struct {
 	// FirstDivergentFrame is the bisected first frame on which the
@@ -100,6 +119,10 @@ type Report struct {
 	// (frame, timestamp) so the two sites' records align causally even
 	// when their clocks do not.
 	Timeline []TimelineEvent `json:"timeline,omitempty"`
+	// InputLatency holds per-frame input-journey measurements around the
+	// divergence, one row per site per frame, from the bundles' span
+	// sections (empty when the bundles carry none or the frame is unknown).
+	InputLatency []InputLatencyRow `json:"input_latency,omitempty"`
 }
 
 // timelineWindow is how many frames around the divergence the merged
@@ -156,7 +179,49 @@ func Analyze(bundles ...*Bundle) (*Report, error) {
 	}
 
 	r.Timeline = mergeTimelines(bundles, r.FirstDivergentFrame)
+	r.InputLatency = spanLatencies(bundles, r.FirstDivergentFrame)
 	return r, nil
+}
+
+// spanLatencies derives per-frame input-journey rows from the bundles' span
+// sections, restricted to timelineWindow frames around the divergence.
+func spanLatencies(bundles []*Bundle, around int64) []InputLatencyRow {
+	if around < 0 {
+		return nil
+	}
+	var out []InputLatencyRow
+	for _, b := range bundles {
+		for _, s := range b.Spans {
+			if s.Frame < around-timelineWindow || s.Frame > around+timelineWindow {
+				continue
+			}
+			row := InputLatencyRow{Site: b.Manifest.Site, Frame: s.Frame, Retransmits: s.Retransmits}
+			if s.Executed != 0 {
+				if s.RemotePressed != 0 {
+					row.CrossNs = s.Executed - s.RemotePressed
+				}
+				if s.Pressed != 0 {
+					row.LocalNs = s.Executed - s.Pressed
+				}
+				if s.RemoteExec != 0 {
+					if row.SkewNs = s.Executed - s.RemoteExec; row.SkewNs < 0 {
+						row.SkewNs = -row.SkewNs
+					}
+				}
+			}
+			if s.Recv != 0 && s.RemoteSend != 0 {
+				row.NetNs = s.Recv - s.RemoteSend
+			}
+			out = append(out, row)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Frame != out[j].Frame {
+			return out[i].Frame < out[j].Frame
+		}
+		return out[i].Site < out[j].Site
+	})
+	return out
 }
 
 // crossBundleDivergence compares the two bundles' per-frame hash records and
@@ -396,6 +461,15 @@ func (r *Report) Format(w io.Writer, verbose bool) {
 		fmt.Fprintf(w, "\nmerged timeline (±%d frames around the divergence):\n", timelineWindow)
 		for _, e := range r.Timeline {
 			fmt.Fprintf(w, "  frame %6d  site %d  %-12s arg=%-8d at=%dns\n", e.Frame, e.Site, e.Kind, e.Arg, e.AtNs)
+		}
+	}
+	if verbose && len(r.InputLatency) > 0 {
+		fmt.Fprintf(w, "\ninput latency (±%d frames around the divergence; ms, 0 = leg never closed):\n", timelineWindow)
+		fmt.Fprintf(w, "  %6s  %4s  %8s  %8s  %8s  %8s  %7s\n", "frame", "site", "cross", "local", "net", "skew", "retrans")
+		ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+		for _, row := range r.InputLatency {
+			fmt.Fprintf(w, "  %6d  %4d  %8.2f  %8.2f  %8.2f  %8.2f  %7d\n",
+				row.Frame, row.Site, ms(row.CrossNs), ms(row.LocalNs), ms(row.NetNs), ms(row.SkewNs), row.Retransmits)
 		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"retrolock/internal/obs"
 	"retrolock/internal/rom/games"
 	"retrolock/internal/simnet"
+	"retrolock/internal/span"
 	"retrolock/internal/timeserver"
 	"retrolock/internal/transport"
 	"retrolock/internal/vclock"
@@ -118,6 +119,11 @@ type Config struct {
 	// always collected — they are allocation-free).
 	TraceEvents int
 
+	// HealthEvery is how often (in frames) site 0's health SLO engine
+	// closes and grades a window (default 60 — once per second of frames).
+	// Negative disables the engine; lockstep mode only.
+	HealthEvery int
+
 	// FlightDir is where each site's black-box recorder auto-writes its
 	// incident bundle ("" falls back to the RETROLOCK_FLIGHT_DIR
 	// environment variable; recorders are attached to lockstep sessions
@@ -147,6 +153,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WaitTimeout == 0 {
 		c.WaitTimeout = DefaultTimeout
+	}
+	if c.HealthEvery == 0 {
+		c.HealthEvery = 60
 	}
 	return c
 }
@@ -201,6 +210,52 @@ type Result struct {
 	// auto-wrote, if any.
 	Flight        []*flight.Recorder
 	FlightBundles []string
+	// Journals holds each lockstep site's input-journey span journal
+	// (entries nil in rollback mode) — the source of the cross-site input
+	// latency, one-way net latency and live skew histograms.
+	Journals []*span.Journal
+	// Health is site 0's final SLO verdict and HealthWindow its last
+	// evaluated window (zero values in rollback mode or when
+	// Config.HealthEvery < 0).
+	Health       obs.HealthState
+	HealthWindow obs.HealthSignals
+}
+
+// InputLatencyMs summarizes one site's input-journey quantiles in
+// milliseconds. Values are histogram bucket upper bounds; 0 means the leg
+// recorded no observations.
+type InputLatencyMs struct {
+	// CrossP50/CrossP90 are the end-to-end cross-site input latency (peer
+	// press to local execution) — the number the paper's 140 ms feasibility
+	// argument is really about.
+	CrossP50, CrossP90 float64
+	// LocalP50 is the own-press-to-own-execution latency, ~lag/CFPS by
+	// construction.
+	LocalP50 float64
+	// NetP50 is the one-way wire latency via the clock-offset estimate.
+	NetP50 float64
+	// SkewP90 is the per-frame cross-site execution skew.
+	SkewP90 float64
+}
+
+// InputLatency reads a site's journey quantiles out of its journal.
+func (r *Result) InputLatency(site int) InputLatencyMs {
+	var out InputLatencyMs
+	if site < 0 || site >= len(r.Journals) || r.Journals[site] == nil {
+		return out
+	}
+	j := r.Journals[site]
+	q := func(h *obs.Histogram, p float64) float64 {
+		if h == nil || h.Count() == 0 {
+			return 0
+		}
+		return float64(h.Quantile(p)) / 1e6
+	}
+	out.CrossP50, out.CrossP90 = q(j.Cross, 0.5), q(j.Cross, 0.9)
+	out.LocalP50 = q(j.Local, 0.5)
+	out.NetP50 = q(j.Net, 0.5)
+	out.SkewP90 = q(j.Skew, 0.9)
+	return out
 }
 
 // PlayerInput synthesizes a deterministic pseudo-random pad byte for a
@@ -321,6 +376,8 @@ func Run(cfg Config) (*Result, error) {
 	}
 	sites := make([]*siteState, totalSites)
 	traces := make([]*obs.Tracer, 0, totalSites)
+	journals := make([]*span.Journal, totalSites)
+	var so0 *obs.SessionObs
 
 	// Observer wiring: each observer connects to both players.
 	obsConns := make([][2]transport.Conn, cfg.Observers) // observer side
@@ -384,6 +441,9 @@ func Run(cfg Config) (*Result, error) {
 		st := &siteState{machine: m}
 		so := core.NewSessionObs(reg, site, cfg.TraceEvents, start0)
 		traces = append(traces, so.Tracer)
+		if site == 0 {
+			so0 = so
+		}
 		if cfg.Rollback {
 			rs, err := core.NewRollbackSession(sc, v, v.Now(), m, peers, cfg.PredictionWindow)
 			if err != nil {
@@ -407,6 +467,8 @@ func Run(cfg Config) (*Result, error) {
 				return nil, err
 			}
 			ses.SetObs(so)
+			journals[site] = core.NewInputJourney(reg, site, start0)
+			ses.SetJournal(journals[site])
 			core.RegisterSessionMetrics(reg, obs.SiteLabels(site), ses)
 			// The black box rides along on every lockstep session: bounded
 			// rings, allocation-free steady state, and a live dump endpoint
@@ -419,6 +481,7 @@ func Run(cfg Config) (*Result, error) {
 				Dir:            flightDir,
 				Registry:       reg,
 				Tracer:         so.Tracer,
+				Journal:        journals[site],
 				StallThreshold: cfg.StallThreshold,
 			})
 			ses.SetFlightRecorder(rec)
@@ -428,11 +491,33 @@ func Run(cfg Config) (*Result, error) {
 		}
 		if site < 2 && arqs[site] != nil {
 			arqs[site].SetTracer(site, so.Tracer)
+			arqs[site].SetJournal(journals[site])
 		}
 		sites[site] = st
 
 		rep := net.MustBind(fmt.Sprintf("reporter%d", site))
 		reporters = append(reporters, rep)
+	}
+
+	// The site-0 health SLO engine grades the feasibility signals — median
+	// RTT vs the 140 ms cliff, skew quantile, mean frame time, ARQ
+	// retransmit rate — one window every HealthEvery frames.
+	var health *obs.Health
+	if !cfg.Rollback && cfg.HealthEvery > 0 {
+		src := obs.HealthSources{
+			FrameTime: so0.FrameTime,
+			RTT:       so0.RTT,
+			Skew:      journals[0].Skew,
+			Frames:    func() int64 { return int64(sites[0].machine.FrameCount()) },
+		}
+		if arqs[0] != nil {
+			src.Retransmits = func() int64 { return int64(arqs[0].Retransmissions()) }
+		}
+		health = obs.NewHealth(obs.HealthConfig{}, src)
+		if traces[0] != nil {
+			health.SetTracer(0, traces[0])
+		}
+		health.Register(reg, 0)
 	}
 
 	start := v.Now()
@@ -469,7 +554,15 @@ func Run(cfg Config) (*Result, error) {
 					return
 				}
 			}
-			st.err = st.session.RunFrames(cfg.Frames, localInput, nil)
+			var onFrame func(core.FrameInfo)
+			if site == 0 && health != nil {
+				onFrame = func(fi core.FrameInfo) {
+					if fi.Frame > 0 && fi.Frame%cfg.HealthEvery == 0 {
+						health.Evaluate(v.Now())
+					}
+				}
+			}
+			st.err = st.session.RunFrames(cfg.Frames, localInput, onFrame)
 			st.session.Drain(5 * time.Second)
 		})
 	}
@@ -488,7 +581,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	res := &Result{Elapsed: elapsed, Converged: true, Registry: reg, Traces: traces, Flight: recorders}
+	res := &Result{Elapsed: elapsed, Converged: true, Registry: reg, Traces: traces,
+		Flight: recorders, Journals: journals}
+	if health != nil {
+		res.Health = health.State()
+		res.HealthWindow = health.Signals()
+	}
 	for _, rec := range recorders {
 		if rec != nil && rec.BundlePath() != "" {
 			res.FlightBundles = append(res.FlightBundles, rec.BundlePath())

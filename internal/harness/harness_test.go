@@ -272,3 +272,41 @@ func TestRunSeedsSpread(t *testing.T) {
 		t.Fatalf("deviation spread corrupt: %+v", mr.Deviation)
 	}
 }
+
+func TestHealthAndInputLatency(t *testing.T) {
+	// A comfortable RTT: healthy verdict, cross-site latency dominated by
+	// the 100 ms local lag, local latency = lag/CFPS by construction.
+	res := run(t, Config{RTT: 40 * time.Millisecond, Frames: 900, Seed: 3})
+	if res.Health != 0 { // obs.Healthy
+		t.Fatalf("health at RTT 40ms = %v, want healthy (window %+v)", res.Health, res.HealthWindow)
+	}
+	if res.HealthWindow.Window == 0 {
+		t.Fatal("health engine never evaluated a window")
+	}
+	for site := 0; site < 2; site++ {
+		il := res.InputLatency(site)
+		if il.LocalP50 < 50 || il.LocalP50 > 300 {
+			t.Errorf("site %d local p50 = %.1fms, want ~100ms (the local lag)", site, il.LocalP50)
+		}
+		if il.CrossP50 < 50 || il.CrossP50 > 300 {
+			t.Errorf("site %d cross p50 = %.1fms, want lag-dominated", site, il.CrossP50)
+		}
+		if il.SkewP90 == 0 {
+			t.Errorf("site %d skew p90 = 0, want live skew observations", site)
+		}
+	}
+
+	// Past the paper's cliff the verdict must not stay healthy.
+	far := run(t, Config{RTT: 200 * time.Millisecond, Frames: 900, Seed: 3})
+	if far.Health == 0 {
+		t.Fatalf("health at RTT 200ms = healthy, want degraded/infeasible (window %+v)", far.HealthWindow)
+	}
+	// The buckets are powers of two, so p50 may land on the same bound at
+	// both RTTs; it must at least not shrink, and the tail must spread.
+	if a, b := res.InputLatency(0).CrossP50, far.InputLatency(0).CrossP50; b < a {
+		t.Errorf("cross p50 shrank with RTT: %.1fms at 40ms vs %.1fms at 200ms", a, b)
+	}
+	if a, b := res.InputLatency(0).CrossP90, far.InputLatency(0).CrossP90; b < a {
+		t.Errorf("cross p90 shrank with RTT: %.1fms at 40ms vs %.1fms at 200ms", a, b)
+	}
+}

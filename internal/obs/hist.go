@@ -129,25 +129,5 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	for _, c := range counts {
 		total += c
 	}
-	if total == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	need := int64(q * float64(total))
-	if need < 1 {
-		need = 1
-	}
-	var cum int64
-	for i, c := range counts {
-		cum += c
-		if cum >= need {
-			return BucketBound(i)
-		}
-	}
-	return BucketBound(histBuckets - 1)
+	return QuantileOfBuckets(counts, total, q)
 }

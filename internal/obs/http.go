@@ -24,12 +24,14 @@ var expvarOnce sync.Once
 // NewMux builds the observability mux for a registry:
 //
 //	/metrics        Prometheus text format
+//	/healthz        health SLO verdict JSON (503 when infeasible)
 //	/debug/vars     expvar JSON
 //	/debug/pprof/   Go profiling endpoints
 //	/debug/trace    Chrome trace_event JSON of the attached tracers
 func NewMux(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/healthz", r.HealthHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -45,6 +47,7 @@ func NewMux(r *Registry) *http.ServeMux {
 		}
 		fmt.Fprint(w, `<html><body><h1>retrolock observability</h1><ul>
 <li><a href="/metrics">/metrics</a> — Prometheus text format</li>
+<li><a href="/healthz">/healthz</a> — health SLO verdict (503 when infeasible)</li>
 <li><a href="/debug/vars">/debug/vars</a> — expvar</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — profiling</li>
 <li><a href="/debug/trace">/debug/trace</a> — Chrome trace_event JSON (open in chrome://tracing)</li>

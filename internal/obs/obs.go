@@ -53,6 +53,10 @@ const (
 	// liveness stall, panic, or a manual dump); Arg is the incident kind
 	// code the triggering layer assigned.
 	EvIncident
+	// EvHealth marks a health SLO state transition; Arg encodes the
+	// transition as from<<8 | to (HealthState codes). Frame is -1: health
+	// windows span many frames.
+	EvHealth
 )
 
 // String returns the JSONL/trace name of the kind.
@@ -74,6 +78,8 @@ func (k EventKind) String() string {
 		return "rollback"
 	case EvIncident:
 		return "incident"
+	case EvHealth:
+		return "health"
 	}
 	return "unknown"
 }

@@ -97,6 +97,7 @@ type Registry struct {
 	hists   []*histSeries
 	tracers []tracerEntry
 	dumps   []dumpEntry
+	health  *Health
 }
 
 // NewRegistry returns an empty registry.
@@ -224,6 +225,41 @@ func (r *Registry) DumpHandler() http.Handler {
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Header().Set("Content-Disposition", `attachment; filename="flight.rkfb"`)
 		_ = fn(w)
+	})
+}
+
+// SetHealth attaches a health SLO engine; the registry's mux then serves
+// its verdict at /healthz. The last attached engine wins.
+func (r *Registry) SetHealth(h *Health) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.health = h
+}
+
+// Health returns the attached health engine (nil when none).
+func (r *Registry) Health() *Health {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.health
+}
+
+// HealthHandler serves the attached engine's verdict as JSON: HTTP 200 for
+// healthy/degraded, 503 for infeasible (load-balancer friendly), 404 when no
+// engine is attached.
+func (r *Registry) HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		h := r.Health()
+		if h == nil {
+			http.Error(w, "no health engine attached", http.StatusNotFound)
+			return
+		}
+		sig := h.Signals()
+		w.Header().Set("Content-Type", "application/json")
+		if sig.State == Infeasible {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintf(w, `{"state":%q,"window":%d,"rtt_p50_ns":%d,"skew_q_ns":%d,"frame_mean_ns":%d,"retrans_per_frame":%g,"transitions":%d}`+"\n",
+			sig.StateName, sig.Window, sig.RTTp50, sig.SkewQ, sig.FrameMean, sig.RetransPerFrame, sig.Transitions)
 	})
 }
 

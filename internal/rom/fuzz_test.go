@@ -14,7 +14,7 @@ func FuzzDecodeROM(f *testing.F) {
 	good := seed.Encode()
 	f.Add(good)
 	f.Add((&ROM{}).Encode())
-	f.Add(good[:len(good)-1])       // truncated checksum
+	f.Add(good[:len(good)-1])          // truncated checksum
 	f.Add(append([]byte{}, "RK32"...)) // header only
 	flipped := append([]byte{}, good...)
 	flipped[10] ^= 0xFF // corrupt a header byte: checksum must catch it

@@ -1,0 +1,317 @@
+package span
+
+import (
+	"testing"
+	"time"
+
+	"retrolock/internal/obs"
+)
+
+var testEpoch = time.Date(2009, 6, 22, 0, 0, 0, 0, time.UTC)
+
+func at(d time.Duration) time.Time { return testEpoch.Add(d) }
+
+func TestJournalLifecycleDerivesLatencies(t *testing.T) {
+	j := NewJournal(testEpoch, 128)
+	j.Cross = &obs.Histogram{}
+	j.Local = &obs.Histogram{}
+	j.Net = &obs.Histogram{}
+	j.Skew = &obs.Histogram{}
+
+	const lag = 6
+	// Local journey for frame 10: pressed at 100ms (buffered for frame 10 =
+	// current frame 4 + lag), executed at 200ms.
+	j.StampPressed(10, at(100*time.Millisecond))
+	j.StampSendRange(4, 10, at(101*time.Millisecond))
+	j.StampExecuted(10, at(200*time.Millisecond))
+	j.StampRendered(10, at(201*time.Millisecond))
+	if got := j.Local.Count(); got != 1 {
+		t.Fatalf("local latency observations = %d, want 1", got)
+	}
+	// 100ms -> bucket of 10^8 ns.
+	if got, lo := j.Local.Sum(), int64(100*time.Millisecond); got != lo {
+		t.Fatalf("local latency sum = %d, want %d", got, lo)
+	}
+
+	// Remote journey: the peer began frame 4 at 95ms (mapped), so its input
+	// pressed there takes effect at frame 10. We already executed frame 10
+	// at 200ms -> cross latency 105ms, observed when the remote stamp lands.
+	j.StampRemoteExec(4, int64(95*time.Millisecond), lag)
+	if got := j.Cross.Count(); got != 1 {
+		t.Fatalf("cross latency observations = %d, want 1", got)
+	}
+	if got := j.Cross.Sum(); got != int64(105*time.Millisecond) {
+		t.Fatalf("cross latency sum = %d, want %d", got, int64(105*time.Millisecond))
+	}
+
+	// Skew for frame 10: we executed at 200ms, peer at 204ms -> 4ms.
+	j.StampRemoteExec(10, int64(204*time.Millisecond), lag)
+	if got := j.Skew.Count(); got != 1 {
+		t.Fatalf("skew observations = %d, want 1", got)
+	}
+	if got := j.Skew.Sum(); got != int64(4*time.Millisecond) {
+		t.Fatalf("skew sum = %d, want %d", got, int64(4*time.Millisecond))
+	}
+
+	// Net latency: peer sent at 150ms, we received at 152ms -> 2ms.
+	j.StampRecv(12, at(152*time.Millisecond), int64(150*time.Millisecond))
+	if got := j.Net.Count(); got != 1 {
+		t.Fatalf("net latency observations = %d, want 1", got)
+	}
+	if got := j.Net.Sum(); got != int64(2*time.Millisecond) {
+		t.Fatalf("net latency sum = %d, want %d", got, int64(2*time.Millisecond))
+	}
+
+	s, ok := j.Get(10)
+	if !ok {
+		t.Fatal("span for frame 10 not resident")
+	}
+	if s.Pressed == 0 || s.Sent == 0 || s.Executed == 0 || s.Rendered == 0 ||
+		s.RemoteExec == 0 || s.RemotePressed == 0 {
+		t.Fatalf("span 10 missing stamps: %+v", s)
+	}
+}
+
+func TestJournalStampsAreFirstWins(t *testing.T) {
+	j := NewJournal(testEpoch, 64)
+	j.Skew = &obs.Histogram{}
+	j.StampExecuted(5, at(10*time.Millisecond))
+	j.StampExecuted(5, at(99*time.Millisecond)) // ignored
+	s, _ := j.Get(5)
+	if s.Executed != int64(10*time.Millisecond) {
+		t.Fatalf("Executed = %d, want first stamp %d", s.Executed, int64(10*time.Millisecond))
+	}
+	// Duplicate remote exec reports (every incoming message repeats the
+	// newest) must observe skew exactly once.
+	j.StampRemoteExec(5, int64(12*time.Millisecond), 0)
+	j.StampRemoteExec(5, int64(50*time.Millisecond), 0)
+	if got := j.Skew.Count(); got != 1 {
+		t.Fatalf("skew observed %d times, want exactly 1", got)
+	}
+	if got := j.Skew.Sum(); got != int64(2*time.Millisecond) {
+		t.Fatalf("skew sum = %d, want %d", got, int64(2*time.Millisecond))
+	}
+}
+
+func TestJournalRingReusesSlotsAndDropsStale(t *testing.T) {
+	j := NewJournal(testEpoch, 64)
+	if j.Cap() != 64 {
+		t.Fatalf("cap = %d, want 64", j.Cap())
+	}
+	j.StampExecuted(3, at(time.Millisecond))
+	// Frame 3+64 lands on the same slot and must evict frame 3.
+	j.StampExecuted(3+64, at(2*time.Millisecond))
+	if _, ok := j.Get(3); ok {
+		t.Fatal("evicted frame 3 still resident")
+	}
+	if s, ok := j.Get(67); !ok || s.Executed != int64(2*time.Millisecond) {
+		t.Fatalf("frame 67 span = %+v ok=%v", s, ok)
+	}
+	// A stale stamp for the evicted frame must not corrupt the new resident.
+	j.StampPressed(3, at(5*time.Millisecond))
+	if s, _ := j.Get(67); s.Pressed != 0 {
+		t.Fatalf("stale stamp for frame 3 landed on frame 67: %+v", s)
+	}
+}
+
+func TestJournalSpansOrdered(t *testing.T) {
+	j := NewJournal(testEpoch, 64)
+	for f := int64(100); f < 180; f++ { // wraps the 64-slot ring
+		j.StampExecuted(f, at(time.Duration(f)*time.Millisecond))
+	}
+	spans := j.Spans()
+	if len(spans) != 64 {
+		t.Fatalf("resident spans = %d, want 64", len(spans))
+	}
+	for i, s := range spans {
+		if want := int64(116 + i); s.Frame != want {
+			t.Fatalf("spans[%d].Frame = %d, want %d", i, s.Frame, want)
+		}
+	}
+}
+
+func TestJournalStampingDoesNotAllocate(t *testing.T) {
+	j := NewJournal(testEpoch, 256)
+	j.Cross = &obs.Histogram{}
+	j.Local = &obs.Histogram{}
+	j.Net = &obs.Histogram{}
+	j.Skew = &obs.Histogram{}
+	frame := int64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		now := at(time.Duration(frame) * 16 * time.Millisecond)
+		j.StampPressed(frame+6, now)
+		j.StampSendRange(frame, frame+6, now)
+		j.StampRecv(frame, now, int64(frame)*1000)
+		j.StampRemoteExec(frame, int64(frame+1)*1000, 6)
+		j.StampExecuted(frame, now)
+		j.StampRendered(frame, now)
+		j.Retransmit(now)
+		frame++
+	})
+	if allocs != 0 {
+		t.Fatalf("journal stamping allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestNilJournalIsNoOp(t *testing.T) {
+	var j *Journal
+	j.StampPressed(1, at(0))
+	j.StampSendRange(0, 5, at(0))
+	j.StampRecv(1, at(0), 5)
+	j.StampRemoteExec(1, 5, 6)
+	j.StampExecuted(1, at(0))
+	j.StampRendered(1, at(0))
+	j.Retransmit(at(0))
+	if j.Spans() != nil || j.Cap() != 0 || j.Stamped() != 0 {
+		t.Fatal("nil journal leaked state")
+	}
+	if _, ok := j.Get(1); ok {
+		t.Fatal("nil journal returned a span")
+	}
+}
+
+func TestOffsetEstimatorSymmetricPath(t *testing.T) {
+	var e OffsetEstimator
+	if e.Ready() {
+		t.Fatal("estimator ready before any sample")
+	}
+	// Peer clock runs 250000 us ahead of ours; path delay 10000 us each way,
+	// peer holds the echo 3000 us.
+	const peerAhead = 250000
+	t1 := uint32(1000000)
+	t2 := t1 + 10000 + peerAhead // peer receive, peer clock
+	hold := uint32(3000)
+	t3 := t2 + hold
+	t4 := t1 + 10000 + hold + 10000
+	e.AddEcho(t1, hold, t3, t4)
+	off, ok := e.OffsetMicros()
+	if !ok {
+		t.Fatal("no estimate after sample")
+	}
+	if off != -peerAhead {
+		t.Fatalf("offset = %d, want %d", off, -peerAhead)
+	}
+	if rtt := e.MinRTTMicros(); rtt != 20000 {
+		t.Fatalf("min rtt = %d, want 20000", rtt)
+	}
+	// Mapping a fresh peer stamp through the offset must recover the local
+	// instant: peer stamps t5 (peer clock) at local instant L.
+	localNowNs := int64(5 * time.Second)
+	nowMicros := uint32(5000000)
+	peerStamp := uint32(4900000 + peerAhead) // peer's clock at local 4.9s
+	got := MapRemoteMicros(peerStamp, off, nowMicros, localNowNs)
+	if want := int64(4900000) * 1000; got != want {
+		t.Fatalf("mapped remote stamp = %d, want %d", got, want)
+	}
+}
+
+func TestOffsetEstimatorPrefersMinRTT(t *testing.T) {
+	var e OffsetEstimator
+	// A slow, queue-skewed sample first: 100ms out, 20ms back biases the
+	// midpoint by 40ms.
+	e.AddEcho(0, 0, 100000, 120000)
+	biased, _ := e.OffsetMicros()
+	// Then a fast symmetric sample with the true offset 0.
+	e.AddEcho(200000, 0, 205000, 210000)
+	off, _ := e.OffsetMicros()
+	if off == biased && biased != 0 {
+		t.Fatalf("estimator kept the slow biased sample: %d", off)
+	}
+	if off != 0 {
+		t.Fatalf("offset = %d, want 0 from the min-RTT sample", off)
+	}
+	if rtt := e.MinRTTMicros(); rtt != 10000 {
+		t.Fatalf("min rtt = %d, want 10000", rtt)
+	}
+	if e.Samples() != 2 {
+		t.Fatalf("samples = %d, want 2", e.Samples())
+	}
+}
+
+func TestOffsetEstimatorWrapSafety(t *testing.T) {
+	var e OffsetEstimator
+	// Stamps straddling the 2^32 microsecond wrap (~71.6 minutes).
+	t1 := uint32(0xFFFFF000)
+	hold := uint32(100)
+	t3 := t1 + 5000 + hold // wraps
+	t4 := t1 + 10000 + hold
+	e.AddEcho(t1, hold, t3, t4)
+	off, ok := e.OffsetMicros()
+	if !ok {
+		t.Fatal("wrap-straddling sample rejected")
+	}
+	if off != 0 {
+		t.Fatalf("offset across wrap = %d, want 0", off)
+	}
+	if rtt := e.MinRTTMicros(); rtt != 10000 {
+		t.Fatalf("rtt across wrap = %d, want 10000", rtt)
+	}
+}
+
+func TestOffsetEstimatorRejectsNonPositiveRTT(t *testing.T) {
+	var e OffsetEstimator
+	e.AddEcho(1000, 500, 1200, 1400) // rtt = 400-500 < 0
+	if e.Ready() {
+		t.Fatal("non-positive RTT sample accepted")
+	}
+}
+
+func TestNilOffsetEstimator(t *testing.T) {
+	var e *OffsetEstimator
+	e.AddEcho(1, 2, 3, 4)
+	if e.Ready() || e.Samples() != 0 || e.MinRTTMicros() != 0 {
+		t.Fatal("nil estimator leaked state")
+	}
+	if _, ok := e.OffsetMicros(); ok {
+		t.Fatal("nil estimator produced an offset")
+	}
+}
+
+func TestSpanWireRoundTrip(t *testing.T) {
+	spans := []Span{
+		{Frame: 7, Pressed: 1, Encoded: 2, Sent: 3, Executed: 4, Rendered: 5,
+			Recv: 6, Merged: 7, RemoteSend: 8, RemoteExec: 9, RemotePressed: 10, Retransmits: 2},
+		{Frame: 8},
+		{Frame: -3, Executed: -1}, // hostile but representable values survive
+	}
+	blob := AppendSpans(nil, spans)
+	got, err := DecodeSpans(blob)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(spans) {
+		t.Fatalf("decoded %d spans, want %d", len(got), len(spans))
+	}
+	for i := range spans {
+		if got[i] != spans[i] {
+			t.Fatalf("span %d round-trip mismatch:\n got %+v\nwant %+v", i, got[i], spans[i])
+		}
+	}
+	// Empty set round-trips too.
+	if got, err := DecodeSpans(AppendSpans(nil, nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip: %v, %d spans", err, len(got))
+	}
+}
+
+func TestSpanWireRejectsDamage(t *testing.T) {
+	blob := AppendSpans(nil, []Span{{Frame: 1}})
+	cases := map[string][]byte{
+		"short":       blob[:5],
+		"bad magic":   append([]byte("NOPE"), blob[4:]...),
+		"bad version": append(append([]byte{}, blob[:4]...), append([]byte{9, 9}, blob[6:]...)...),
+		"truncated":   blob[:len(blob)-1],
+		"surplus":     append(append([]byte{}, blob...), 0),
+	}
+	for name, b := range cases {
+		if _, err := DecodeSpans(b); err == nil {
+			t.Errorf("%s: decode accepted damaged blob", name)
+		}
+	}
+	// Count claiming more records than the blob holds must not over-read.
+	big := append([]byte{}, blob...)
+	big[6] = 0xFF
+	big[7] = 0xFF
+	if _, err := DecodeSpans(big); err == nil {
+		t.Error("oversized count accepted")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"retrolock/internal/obs"
+	"retrolock/internal/span"
 	"retrolock/internal/vclock"
 )
 
@@ -58,6 +59,11 @@ type ARQConn struct {
 	// recorded as an EvRetransmit instant with the segment sequence as Arg.
 	tracer    *obs.Tracer
 	traceSite int
+
+	// Optional input-journey journal (nil-safe): every retransmission is
+	// attributed to the newest sync frame the journal saw sent, adding the
+	// ARQ hop to that frame's span.
+	journal *span.Journal
 
 	// Sender state.
 	nextSeq uint32
@@ -180,6 +186,7 @@ func (c *ARQConn) pumpLocked() {
 			c.retrans++
 			// Frame -1: retransmissions are not tied to a game frame.
 			c.tracer.Record(obs.EvRetransmit, c.traceSite, -1, now, int64(seg.seq))
+			c.journal.Retransmit(now)
 			_ = c.transmitLocked(*seg)
 		}
 	}
@@ -252,6 +259,14 @@ func (c *ARQConn) SetTracer(site int, t *obs.Tracer) {
 	defer c.mu.Unlock()
 	c.tracer = t
 	c.traceSite = site
+}
+
+// SetJournal attaches an input-journey journal; subsequent retransmissions
+// add an ARQ hop to the span of the newest frame the journal saw sent.
+func (c *ARQConn) SetJournal(j *span.Journal) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.journal = j
 }
 
 // Flush drives retransmission/ack processing without consuming a datagram.
