@@ -39,19 +39,21 @@ fuzz:
 bench-hotpath:
 	$(GO) test -run NONE -bench 'SyncHotPath|SyncInputNoWait' -benchmem .
 
-# The tracked perf surface — the sync hot path and the full frame loop
-# (plain, traced, and with the flight recorder attached) — rendered into
-# the machine-readable $(BENCH_JSON) via cmd/benchjson. CI runs this and
-# uploads the JSON as an artifact.
-BENCH_JSON ?= BENCH_PR5.json
+# The tracked perf surface — the sync hot path, the full frame loop
+# (plain, traced, and with the flight recorder attached), and the
+# dirty-page savestate/digest paths — rendered into the machine-readable
+# $(BENCH_JSON) via cmd/benchjson. CI runs this and uploads the JSON as an
+# artifact.
+BENCH_JSON ?= BENCH_PR6.json
 bench:
-	$(GO) test -run NONE -bench 'SyncHotPath|FrameLoop|SyncInputNoWait' -benchmem . \
+	$(GO) test -run NONE -bench 'SyncHotPath|FrameLoop|SyncInputNoWait|StateHashIncremental|SavestateDelta' -benchmem . \
 		| $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
 
 # Regression gate: rebuild the perf report and diff it against the
 # checked-in baseline with cmd/benchcmp. Fails on a >15% ns/op regression
-# or any allocs/op growth on the sync hot path.
-BENCH_BASELINE ?= BENCH_PR5.json
+# or any allocs/op growth on a gated benchmark — and on a gated benchmark
+# disappearing from the fresh run.
+BENCH_BASELINE ?= BENCH_PR6.json
 bench-gate:
 	$(MAKE) bench BENCH_JSON=BENCH_NEW.json
 	$(GO) run ./cmd/benchcmp $(BENCH_BASELINE) BENCH_NEW.json

@@ -315,6 +315,41 @@ func BenchmarkSavestate(b *testing.B) {
 	}
 }
 
+// BenchmarkStateHashIncremental measures the digest in its per-frame shape:
+// one emulated frame dirties a handful of pages and the hash recomputes only
+// those, instead of folding the full 64 KiB (BenchmarkStateHash's first-call
+// cost).
+func BenchmarkStateHashIncremental(b *testing.B) {
+	console, err := games.MustLoad("pong").Boot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	console.StepFrame(0)
+	_ = console.StateHash()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		console.StepFrame(uint16(i))
+		_ = console.StateHash()
+	}
+}
+
+// BenchmarkSavestateDelta measures capturing one frame of dirty pages as a
+// delta savestate — the flight recorder's steady-state snapshot cost.
+func BenchmarkSavestateDelta(b *testing.B) {
+	console, err := games.MustLoad("duel").Boot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	console.StepFrame(0)
+	base := console.AppendSaveBase(nil)
+	buf := make([]byte, 0, len(base))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		console.StepFrame(uint16(i))
+		buf = console.AppendSaveDelta(buf[:0])
+	}
+}
+
 // BenchmarkSyncInputNoWait measures the per-frame cost of Algorithm 2 when
 // the remote inputs are already buffered (the common case below threshold).
 func BenchmarkSyncInputNoWait(b *testing.B) {
@@ -333,18 +368,32 @@ func BenchmarkSyncInputNoWait(b *testing.B) {
 		return s
 	}
 	s0, s1 := mk(0, c0), mk(1, c1)
-	b.ResetTimer()
 	done := v.Go(func() {
-		for i := 0; i < b.N; i++ {
-			if _, err := s0.SyncInput(1, i); err != nil {
+		frame := 0
+		step := func() bool {
+			if _, err := s0.SyncInput(1, frame); err != nil {
 				b.Error(err)
-				return
+				return false
 			}
-			if _, err := s1.SyncInput(1<<8, i); err != nil {
+			if _, err := s1.SyncInput(1<<8, frame); err != nil {
 				b.Error(err)
-				return
+				return false
 			}
+			frame++
 			v.Sleep(16667 * time.Microsecond)
+			return true
+		}
+		for i := 0; i < 300; i++ { // warm up scratch buffers and pools
+			if !step() {
+				return
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !step() {
+				return
+			}
 		}
 	})
 	<-done

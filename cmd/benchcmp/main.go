@@ -7,8 +7,10 @@
 // Benchmarks matching -gate (default: the sync hot path) fail the run when
 // ns/op regresses by more than -threshold (default 15%) or when allocs/op
 // grows at all — the zero-allocation budget is part of the contract, not a
-// soft target. Benchmarks present in only one file are listed but never
-// fail: new PRs add new benchmarks.
+// soft target. A gated benchmark that exists in the baseline but is missing
+// from the fresh run also fails: a renamed or deleted hot-path benchmark
+// would otherwise silently un-gate itself. Ungated benchmarks present in
+// only one file are listed but never fail: new PRs add new benchmarks.
 package main
 
 import (
@@ -33,7 +35,7 @@ type Result struct {
 
 var (
 	threshold = flag.Float64("threshold", 0.15, "max tolerated ns/op regression on gated benchmarks (0.15 = +15%)")
-	gate      = flag.String("gate", "SyncHotPath|SyncInputNoWait", "regexp of benchmark names that fail the run on regression")
+	gate      = flag.String("gate", "SyncHotPath|SyncInputNoWait|SyncHotPathFlight|StateHashIncremental|SavestateDelta", "regexp of benchmark names that fail the run on regression")
 )
 
 func main() {
@@ -131,10 +133,21 @@ func compare(old, cur []Result, threshold float64, gate *regexp.Regexp) (string,
 		fmt.Fprintf(&b, "%-44s %12.1f %12.1f %+7.1f%% %10s%s\n",
 			name, o.NsPerOp, n.NsPerOp, delta*100, allocsCol(o.AllocsPerOp, n.AllocsPerOp), mark)
 	}
+	gone := make([]string, 0)
 	for name := range oldBy {
 		if _, ok := curBy[name]; !ok {
-			fmt.Fprintf(&b, "%-44s %12.1f %12s %8s\n", name, oldBy[name].NsPerOp, "-", "gone")
+			gone = append(gone, name)
 		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		mark := ""
+		if gate.MatchString(name) {
+			mark = " !"
+			failures = append(failures, fmt.Sprintf("%s: gated benchmark missing from the fresh run (baseline %.1f ns/op)",
+				name, oldBy[name].NsPerOp))
+		}
+		fmt.Fprintf(&b, "%-44s %12.1f %12s %8s%s\n", name, oldBy[name].NsPerOp, "-", "gone", mark)
 	}
 	return b.String(), failures
 }

@@ -63,3 +63,18 @@ func TestCompareMarksVanishedBenchmarks(t *testing.T) {
 		t.Fatalf("report should mark the vanished benchmark:\n%s", report)
 	}
 }
+
+func TestCompareFailsOnMissingGatedBenchmark(t *testing.T) {
+	old := []Result{
+		{Name: "BenchmarkSyncHotPath", NsPerOp: 1000, AllocsPerOp: 0},
+		{Name: "BenchmarkFrameLoop", NsPerOp: 2000, AllocsPerOp: 3},
+	}
+	cur := []Result{{Name: "BenchmarkFrameLoop", NsPerOp: 2000, AllocsPerOp: 3}}
+	report, failures := compare(old, cur, 0.15, hotGate)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+		t.Fatalf("a gated benchmark absent from the fresh run must fail the gate, got %v", failures)
+	}
+	if !strings.Contains(report, "gone !") {
+		t.Fatalf("report should mark the vanished gated benchmark as a failure:\n%s", report)
+	}
+}

@@ -18,6 +18,7 @@
 //	experiment -series multisite            # observers (journal extension)
 //	experiment -series seeds                # seed-sensitivity spread
 //	experiment -series chaos                # deterministic fault-injection soak
+//	experiment -series soak                 # headless emulation frames/sec per game
 //	experiment -series all                  # everything
 //
 // -frames, -seed, -game and -procdelay override the defaults; -quick trims
@@ -135,6 +136,7 @@ func main() {
 	run("multisite", multisite)
 	run("seeds", seedSensitivity)
 	run("chaos", chaosSeries)
+	run("soak", soak)
 }
 
 var (

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"retrolock/internal/harness"
+	"retrolock/internal/rom/games"
+)
+
+// soak measures raw headless emulation throughput: frames per wall-clock
+// second of StepFrame + StateHash per shipped ROM, no networking. This is the
+// ceiling every distributed experiment runs under — the virtual-time harness
+// executes emulation at full speed and only simulates the waiting — so a
+// regression here slows every series and the CI replay suite with it.
+func soak(cfg harness.Config) error {
+	const minWindow = 250 * time.Millisecond
+	fmt.Println("== soak: headless emulation throughput (StepFrame + StateHash) ==")
+	fmt.Printf("%-10s %12s %14s\n", "game", "frames", "frames/sec")
+	for _, name := range games.Names() {
+		c, err := games.MustLoad(name).Boot()
+		if err != nil {
+			return fmt.Errorf("boot %s: %w", name, err)
+		}
+		// Warm the dirty-page caches (first StateHash folds all 64 KiB).
+		c.StepFrame(0)
+		_ = c.StateHash()
+		frames := 0
+		start := time.Now()
+		var elapsed time.Duration
+		for {
+			for i := 0; i < 512; i++ {
+				c.StepFrame(uint16(frames))
+				_ = c.StateHash()
+				frames++
+			}
+			elapsed = time.Since(start)
+			if elapsed >= minWindow && frames >= cfg.Frames {
+				break
+			}
+		}
+		fmt.Printf("%-10s %12d %14.0f\n", name, frames, float64(frames)/elapsed.Seconds())
+	}
+	return nil
+}

@@ -276,6 +276,7 @@ func run(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	console.EnableDebugLog() // the run summary reports SYS events
 	for f := 0; f < *frames; f++ {
 		var in uint16
 		if *input == "random" {

@@ -32,10 +32,15 @@ type InputSync struct {
 	lag int
 
 	peers map[int]*peerState
+	// peerList is the same set as peers, in registration order. The per-poll
+	// loops (Pump, retire, FlushAcks) walk the slice: ranging over a Go map
+	// re-randomizes iteration order on every pass, which costs more than the
+	// loop bodies on the sync hot path.
+	peerList []*peerState
 
 	ibuf    inputRing
 	pointer int
-	lastRcv map[int]int
+	lastRcv []int // indexed by player site, len NumPlayers
 
 	// retainFloor pins the ring's retired edge: frames >= retainFloor stay
 	// buffered even after delivery and acknowledgement. The lockstep path
@@ -46,8 +51,8 @@ type InputSync struct {
 
 	// rcvAt[k] is when lastRcv[k] last advanced: MasterRcvTime for site 0
 	// (Algorithm 4) and the basis of remote-frame estimation for the
-	// rollback baseline's timesync.
-	rcvAt map[int]time.Time
+	// rollback baseline's timesync. The zero time means "never".
+	rcvAt []time.Time
 
 	stats syncCounters
 
@@ -72,6 +77,11 @@ type InputSync struct {
 	// journal is the optional input-journey span journal; every protocol
 	// hop stamps it (nil-safe, zero-alloc). See internal/span.
 	journal *span.Journal
+
+	// batch coalesces the frame's journal stamps so the hot path takes the
+	// journal lock once per frame instead of once per hop. SyncInput and the
+	// session's render step flush it; FlushSpans covers the drain paths.
+	batch span.Batch
 
 	// Exec report state: the newest frame this site began executing and its
 	// begin instant (µs since epoch), piggybacked on every outgoing sync
@@ -180,8 +190,8 @@ func NewInputSync(cfg Config, clock vclock.Clock, epoch time.Time, peers []Peer)
 		epoch:       epoch,
 		lag:         cfg.BufFrame,
 		peers:       make(map[int]*peerState, len(peers)),
-		lastRcv:     make(map[int]int, cfg.NumPlayers),
-		rcvAt:       make(map[int]time.Time, cfg.NumPlayers),
+		lastRcv:     make([]int, cfg.NumPlayers),
+		rcvAt:       make([]time.Time, cfg.NumPlayers),
 		pointer:     cfg.StartFrame,
 		ibuf:        newInputRing(cfg.StartFrame),
 		retainFloor: int(^uint(0) >> 1),
@@ -206,7 +216,9 @@ func NewInputSync(cfg Config, clock vclock.Clock, epoch time.Time, peers []Peer)
 		if _, dup := s.peers[p.Site]; dup {
 			return nil, fmt.Errorf("core: duplicate peer site %d", p.Site)
 		}
-		s.peers[p.Site] = &peerState{Peer: p, lastAck: init}
+		ps := &peerState{Peer: p, lastAck: init}
+		s.peers[p.Site] = ps
+		s.peerList = append(s.peerList, ps)
 	}
 	s.lagPub.Store(int64(s.lag))
 	s.ownRcvPub.Store(int64(init))
@@ -219,7 +231,7 @@ func NewInputSync(cfg Config, clock vclock.Clock, epoch time.Time, peers []Peer)
 // joins, so AllAcked can answer pollers without touching the peers map.
 func (s *InputSync) republishAcks() {
 	min := int64(int(^uint(0) >> 1))
-	for _, p := range s.peers {
+	for _, p := range s.peerList {
 		if a := int64(p.lastAck); a < min {
 			min = a
 		}
@@ -240,7 +252,10 @@ func (s *InputSync) SetObs(o *obs.SessionObs) { s.tele = o }
 
 // SetJournal attaches an input-journey span journal (nil detaches). Call
 // before the session starts; every stamp is nil-safe and alloc-free.
-func (s *InputSync) SetJournal(j *span.Journal) { s.journal = j }
+func (s *InputSync) SetJournal(j *span.Journal) {
+	s.journal = j
+	s.batch.Reset(j)
+}
 
 // Journal returns the attached span journal (nil when none).
 func (s *InputSync) Journal() *span.Journal { return s.journal }
@@ -253,7 +268,7 @@ func (s *InputSync) ReportExec(frame int, at time.Time) {
 	s.lastExecFrame = frame
 	s.lastExecTime = microsSince(s.epoch, at)
 	s.haveExec = true
-	s.journal.StampExecuted(int64(frame), at)
+	s.batch.Executed(int64(frame), at)
 }
 
 // OffsetTo returns the current clock-offset estimate toward a peer site in
@@ -270,8 +285,13 @@ func (s *InputSync) OffsetTo(site int) (int64, bool) {
 // Pointer returns the next frame to be delivered (IBufPointer).
 func (s *InputSync) Pointer() int { return s.pointer }
 
-// LastRcv returns LastRcvFrame for a player site.
-func (s *InputSync) LastRcv(site int) int { return s.lastRcv[site] }
+// LastRcv returns LastRcvFrame for a player site (0 for non-player sites).
+func (s *InputSync) LastRcv(site int) int {
+	if site < 0 || site >= len(s.lastRcv) {
+		return 0
+	}
+	return s.lastRcv[site]
+}
 
 // put merges one player's partial input into the buffer slot for frame f
 // (paper: IBuf[f](SET[k]) = I(SET[k])). Writes below the ring's retired
@@ -316,7 +336,7 @@ func (s *InputSync) get(f int) (uint16, bool) {
 func (s *InputSync) retire() {
 	edge := s.pointer
 	if !s.cfg.IsObserver() {
-		for _, p := range s.peers {
+		for _, p := range s.peerList {
 			if a := p.lastAck + 1; a < edge {
 				edge = a
 			}
@@ -362,7 +382,7 @@ func (s *InputSync) SyncInput(input uint16, frame int) (uint16, error) {
 			}
 			for f := s.lastRcv[s.cfg.SiteNo] + 1; f <= lagF; f++ {
 				s.put(f, s.cfg.SiteNo, input)
-				s.journal.StampPressed(int64(f), pressedAt)
+				s.batch.Pressed(int64(f), pressedAt)
 			}
 			s.lastRcv[s.cfg.SiteNo] = lagF
 			s.ownRcvPub.Store(int64(lagF))
@@ -403,8 +423,15 @@ func (s *InputSync) SyncInput(input uint16, frame int) (uint16, error) {
 	merged, _ := s.get(s.pointer)
 	s.pointer++
 	s.retire()
+	// One journal-lock round trip applies every hop stamped this frame.
+	s.batch.Flush()
 	return merged, nil
 }
+
+// FlushSpans applies any journal stamps still batched on the hot path. The
+// drain and handshake paths call it after pumping the protocol outside
+// SyncInput, which otherwise owns the per-frame flush.
+func (s *InputSync) FlushSpans() { s.batch.Flush() }
 
 // completeThrough returns the highest frame for which every player's input
 // is buffered — the upper bound of what may be forwarded to observers.
@@ -434,12 +461,12 @@ func (s *InputSync) readyLocked() bool {
 // SyncInput; Session.Drain and the handshake call it directly.
 func (s *InputSync) Pump() {
 	now := s.clock.Now()
-	for _, p := range s.peers {
+	for _, p := range s.peerList {
 		if now.Sub(p.lastSend) >= s.cfg.SendInterval {
 			s.sendTo(p, now)
 		}
 	}
-	for _, p := range s.peers {
+	for _, p := range s.peerList {
 		for {
 			raw, ok := p.Conn.TryRecv()
 			if !ok {
@@ -515,8 +542,8 @@ func (s *InputSync) sendTo(p *peerState, now time.Time) {
 	s.stats.bytesSent.Add(int64(len(s.sendBuf)))
 	s.stats.inputsSent.Add(int64(len(m.Inputs)))
 	s.tele.InputSend(s.pointer, now, len(s.sendBuf))
-	if s.journal != nil && !forwarding && len(m.Inputs) > 0 {
-		s.journal.StampSendRange(int64(m.From), int64(m.To), now)
+	if !forwarding && len(m.Inputs) > 0 {
+		s.batch.SendRange(int64(m.From), int64(m.To), now)
 	}
 }
 
@@ -647,7 +674,7 @@ func (s *InputSync) handleSync(p *peerState, m syncMsg) {
 				// but yields no one-way latency sample).
 				remoteNs := s.mapRemoteMicros(p, m.SendTime, now)
 				for f := prev + 1; f <= int(m.To); f++ {
-					s.journal.StampRecv(int64(f), now, remoteNs)
+					s.batch.Recv(int64(f), now, remoteNs)
 				}
 			}
 		} else {
@@ -662,7 +689,7 @@ func (s *InputSync) handleSync(p *peerState, m syncMsg) {
 	// cross-site input latency).
 	if m.HasExec && s.journal != nil {
 		if remoteNs := s.mapRemoteMicros(p, m.ExecTime, now); remoteNs > 0 {
-			s.journal.StampRemoteExec(int64(m.ExecFrame), remoteNs, int64(s.lag))
+			s.batch.RemoteExec(int64(m.ExecFrame), remoteNs, int64(s.lag))
 		}
 	}
 
@@ -706,8 +733,8 @@ func (s *InputSync) MasterView() MasterView {
 		return MasterView{}
 	}
 	master, ok := s.peers[0]
-	rcvAt, seen := s.rcvAt[0]
-	if !ok || !seen || !master.rtt.Valid() {
+	rcvAt := s.rcvAt[0]
+	if !ok || rcvAt.IsZero() || !master.rtt.Valid() {
 		return MasterView{}
 	}
 	return MasterView{
@@ -723,10 +750,10 @@ func (s *InputSync) MasterView() MasterView {
 // in §3.2) — used by the rollback baseline's timesync. ok is false before
 // anything was received.
 func (s *InputSync) RemoteFrameEstimate(k int) (frame float64, ok bool) {
-	at, seen := s.rcvAt[k]
-	if !seen {
+	if k < 0 || k >= len(s.rcvAt) || s.rcvAt[k].IsZero() {
 		return 0, false
 	}
+	at := s.rcvAt[k]
 	elapsed := s.clock.Now().Sub(at)
 	if p, direct := s.peers[k]; direct && p.rtt.Valid() {
 		elapsed += p.rtt.Estimate() / 2
@@ -808,9 +835,10 @@ func (s *InputSync) SetLag(n int) {
 // otherwise the last site to finish burns its whole drain timeout.
 func (s *InputSync) FlushAcks() {
 	now := s.clock.Now()
-	for _, p := range s.peers {
+	for _, p := range s.peerList {
 		s.sendTo(p, now)
 	}
+	s.batch.Flush()
 }
 
 // RTTTo returns the smoothed RTT estimate toward a peer (0 if none yet).

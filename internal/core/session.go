@@ -288,8 +288,9 @@ func (s *Session) RunFrames(n int, localInput func(frame int) uint16, onFrame fu
 			s.incident(IncidentStall, fmt.Errorf("core: frame %d stalled %v (threshold %v)", frame, w, s.stallThreshold))
 		}
 		s.machine.StepFrame(merged) // step 8 (and 9: the VM renders)
-		if j := s.sync.journal; j != nil {
-			j.StampRendered(int64(frame), s.clock.Now())
+		if s.sync.journal != nil {
+			s.sync.batch.Rendered(int64(frame), s.clock.Now())
+			s.sync.batch.Flush()
 		}
 		hash := s.machine.StateHash()
 		if s.flight != nil {
@@ -450,6 +451,9 @@ func (s *Session) Drain(timeout time.Duration) {
 		}
 		s.clock.Sleep(s.cfg.PollInterval)
 	}
+	// Timed out: the protocol pumps above may have batched span stamps that
+	// no SyncInput will ever flush.
+	s.sync.FlushSpans()
 }
 
 // --- Late-joiner support (journal extension) ---------------------------
@@ -474,6 +478,7 @@ func (s *Session) AddJoiner(p Peer) (int, error) {
 
 	ps := &peerState{Peer: p, lastAck: frame - 1}
 	s.sync.peers[p.Site] = ps
+	s.sync.peerList = append(s.sync.peerList, ps)
 	s.sync.republishAcks()
 
 	// The memory image is mostly zeros; RLE typically collapses the ~9

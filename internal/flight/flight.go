@@ -13,6 +13,7 @@ import (
 	"retrolock/internal/core"
 	"retrolock/internal/obs"
 	"retrolock/internal/span"
+	"retrolock/internal/vm"
 )
 
 // Defaults for Options zero values.
@@ -28,6 +29,10 @@ const (
 	DefaultSnapshots = 4
 	// DefaultRemoteWindow is how many peer digests are retained.
 	DefaultRemoteWindow = 64
+	// DefaultSnapBaseEvery is the capture interval between full base images
+	// in the delta snapshot ring: one full image, then SnapBaseEvery-1
+	// dirty-page deltas, then the next full image.
+	DefaultSnapBaseEvery = 8
 )
 
 // appendSaver is the allocation-free savestate surface (vm.Console provides
@@ -35,6 +40,16 @@ const (
 // acceptable for test fakes, not for the production console.
 type appendSaver interface {
 	AppendSave([]byte) []byte
+}
+
+// deltaSaver is the dirty-page incremental savestate surface (vm.Console
+// provides it). A base capture is a full image; a delta capture carries only
+// the pages mutated since the previous capture in the chain, in the vm's
+// RKSD format (materialized back into full images via vm.ApplyDeltaToImage).
+// Machines lacking it fall back to a full savestate per slot.
+type deltaSaver interface {
+	AppendSaveBase([]byte) []byte
+	AppendSaveDelta([]byte) []byte
 }
 
 // Options configures a Recorder. The zero value is usable: bounded rings at
@@ -56,6 +71,13 @@ type Options struct {
 	SnapEvery    int
 	Snapshots    int
 	RemoteWindow int
+
+	// SnapBaseEvery is the capture interval between full base images when
+	// the machine supports dirty-page delta savestates (zero: the default
+	// above; negative: disable deltas, store a full image per slot). The
+	// ring is over-provisioned by SnapBaseEvery slots so the newest
+	// Snapshots captures always have their base in the ring.
+	SnapBaseEvery int
 
 	// StallThreshold is the SyncInput wait past which the session declares
 	// a liveness-stall incident (0 disables the trigger).
@@ -87,15 +109,20 @@ func (o Options) withDefaults() Options {
 	if o.RemoteWindow <= 0 {
 		o.RemoteWindow = DefaultRemoteWindow
 	}
+	if o.SnapBaseEvery == 0 {
+		o.SnapBaseEvery = DefaultSnapBaseEvery
+	}
 	return o
 }
 
-// snapSlot is one reusable savestate buffer. After the first capture the
-// buffer never grows again (savestates are fixed-size), so steady-state
-// snapshotting does not allocate.
+// snapSlot is one reusable savestate buffer. Slots are pre-sized so that
+// after warm-up the buffer never grows again and steady-state snapshotting
+// does not allocate. In the delta ring a slot holds either a full base image
+// or a dirty-page delta, depending on where its capture fell in the chain.
 type snapSlot struct {
-	frame int64
-	buf   []byte
+	frame   int64
+	isDelta bool
+	buf     []byte
 }
 
 // Recorder is the black box: bounded rings fed by the frame loop, flushed
@@ -109,6 +136,7 @@ type Recorder struct {
 	machine  core.Machine
 	saver    core.Snapshotter // nil when the machine has no savestates
 	appender appendSaver      // nil when Save must be used instead
+	deltas   deltaSaver       // nil when every slot stores a full image
 
 	mu      sync.Mutex
 	frames  []FrameRecord
@@ -143,11 +171,22 @@ func NewRecorder(machine core.Machine, opts Options) *Recorder {
 	if a, ok := machine.(appendSaver); ok {
 		r.appender = a
 	}
+	if d, ok := machine.(deltaSaver); ok && opts.SnapBaseEvery > 0 {
+		r.deltas = d
+	}
 	if r.saver != nil && opts.SnapEvery > 0 {
 		// Pre-size every slot from a probe savestate so steady-state
-		// captures reuse full-capacity buffers and never allocate.
+		// captures reuse full-capacity buffers and never allocate. A delta
+		// can exceed a full image by its per-page framing (a worst-case
+		// every-page delta carries a page index per page), so give delta
+		// ring slots headroom beyond the full-image size.
 		capHint := len(r.save(nil))
-		r.snaps = make([]snapSlot, opts.Snapshots)
+		n := opts.Snapshots
+		if r.deltas != nil {
+			n += opts.SnapBaseEvery
+			capHint += 1024
+		}
+		r.snaps = make([]snapSlot, n)
 		for i := range r.snaps {
 			r.snaps[i] = snapSlot{frame: -1, buf: make([]byte, 0, capHint)}
 		}
@@ -181,7 +220,17 @@ func (r *Recorder) RecordFrame(frame int, input uint16, hash uint64, syncWait ti
 	if r.snaps != nil && frame%r.opts.SnapEvery == 0 {
 		slot := &r.snaps[r.nSnaps%uint64(len(r.snaps))]
 		slot.frame = int64(frame)
-		slot.buf = r.save(slot.buf[:0])
+		switch {
+		case r.deltas == nil:
+			slot.isDelta = false
+			slot.buf = r.save(slot.buf[:0])
+		case r.nSnaps%uint64(r.opts.SnapBaseEvery) == 0:
+			slot.isDelta = false
+			slot.buf = r.deltas.AppendSaveBase(slot.buf[:0])
+		default:
+			slot.isDelta = true
+			slot.buf = r.deltas.AppendSaveDelta(slot.buf[:0])
+		}
 		r.nSnaps++
 	}
 	r.mu.Unlock()
@@ -269,12 +318,39 @@ func (r *Recorder) buildLocked(kind core.IncidentKind, cause error) *Bundle {
 		if c := uint64(len(r.snaps)); ns > c {
 			ns = c
 		}
+		// Emit the newest Snapshots captures as full images. In the delta
+		// ring, replay the retained chain oldest-first: a base replaces the
+		// working image, a delta patches it in place. The ring is
+		// over-provisioned by SnapBaseEvery slots, so the base governing the
+		// oldest emitted capture is always still retained. Bundles therefore
+		// always hold full savestates — the RKFB format and its triage
+		// consumers are unaffected by how the ring stores them.
+		emit := ns
+		if r.deltas != nil && emit > uint64(r.opts.Snapshots) {
+			emit = uint64(r.opts.Snapshots)
+		}
+		var image []byte
+		haveBase := false
 		for i := r.nSnaps - ns; i < r.nSnaps; i++ {
 			s := r.snaps[i%uint64(len(r.snaps))]
-			b.Snapshots = append(b.Snapshots, StateSnapshot{
-				Frame: s.frame,
-				State: append([]byte(nil), s.buf...),
-			})
+			if s.isDelta {
+				if !haveBase {
+					continue // chain head rotated out from under a partial window
+				}
+				if err := vm.ApplyDeltaToImage(image, s.buf); err != nil {
+					haveBase = false
+					continue
+				}
+			} else {
+				image = append(image[:0], s.buf...)
+				haveBase = true
+			}
+			if i >= r.nSnaps-emit {
+				b.Snapshots = append(b.Snapshots, StateSnapshot{
+					Frame: s.frame,
+					State: append([]byte(nil), image...),
+				})
+			}
 		}
 	}
 	if r.saver != nil && len(b.Frames) > 0 {

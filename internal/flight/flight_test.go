@@ -416,3 +416,75 @@ func TestTriageSpanLatencyRows(t *testing.T) {
 		t.Fatalf("verbose report lacks the input-latency table:\n%s", out.String())
 	}
 }
+
+// TestDeltaRingMaterializesFullImages proves the base+delta snapshot ring is
+// invisible in the bundle: every StateSnapshot is byte-identical to the full
+// savestate the console would have produced at that frame, even after the
+// ring rotates through several base/delta cycles.
+func TestDeltaRingMaterializesFullImages(t *testing.T) {
+	game := games.MustLoad("pong")
+	console, err := game.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := flight.NewRecorder(console, flight.Options{
+		Game: "pong", ROM: game.Encode(), Config: testConfig(),
+		SnapEvery: 3, Snapshots: 4, SnapBaseEvery: 5,
+	})
+	want := map[int64][]byte{}
+	for f := 0; f <= 200; f++ {
+		console.StepFrame(testInput(f))
+		rec.RecordFrame(f, testInput(f), console.StateHash(), 0)
+		if f%3 == 0 {
+			want[int64(f)] = console.Save()
+		}
+	}
+	rec.Incident(core.IncidentManual, nil)
+	b, err := flight.Decode(rec.Bundle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Snapshots) != 4 {
+		t.Fatalf("bundle has %d snapshots, want 4", len(b.Snapshots))
+	}
+	for _, s := range b.Snapshots {
+		full, ok := want[s.Frame]
+		if !ok {
+			t.Fatalf("snapshot at unexpected frame %d", s.Frame)
+		}
+		if !bytes.Equal(s.State, full) {
+			t.Errorf("frame %d: materialized snapshot differs from the full savestate", s.Frame)
+		}
+	}
+}
+
+// saveOnlyMachine supports savestates but not dirty-page deltas: the
+// recorder must fall back to one full image per slot.
+type saveOnlyMachine struct{ state byte }
+
+func (m *saveOnlyMachine) StepFrame(input uint16) { m.state += byte(input) + 1 }
+func (m *saveOnlyMachine) StateHash() uint64      { return uint64(m.state) }
+func (m *saveOnlyMachine) Save() []byte           { return []byte{m.state} }
+func (m *saveOnlyMachine) Restore(d []byte) error { m.state = d[0]; return nil }
+
+func TestSnapshotFallbackWithoutDeltaSupport(t *testing.T) {
+	m := &saveOnlyMachine{}
+	rec := flight.NewRecorder(m, flight.Options{Config: testConfig(), SnapEvery: 1, Snapshots: 3})
+	for f := 0; f < 10; f++ {
+		m.StepFrame(0)
+		rec.RecordFrame(f, 0, m.StateHash(), 0)
+	}
+	rec.Incident(core.IncidentManual, nil)
+	b, err := flight.Decode(rec.Bundle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Snapshots) != 3 {
+		t.Fatalf("bundle has %d snapshots, want 3", len(b.Snapshots))
+	}
+	for i, s := range b.Snapshots {
+		if wantState := byte(s.Frame) + 1; len(s.State) != 1 || s.State[0] != wantState {
+			t.Errorf("snapshot %d: state %v, want [%d]", i, s.State, wantState)
+		}
+	}
+}

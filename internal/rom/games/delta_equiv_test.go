@@ -1,0 +1,71 @@
+package games
+
+import (
+	"bytes"
+	"testing"
+
+	"retrolock/internal/vm"
+)
+
+// TestDeltaRestoreMatchesFullRestore replays every shipped ROM under the
+// golden synthetic players while maintaining a base+dirty-page-delta chain,
+// and checks the incremental captures against ground truth at each
+// checkpoint:
+//
+//   - the materialized image (base patched with every delta so far) is
+//     byte-identical to a full Save taken at the same frame, and
+//   - a console restored from the materialized image is indistinguishable —
+//     same state hash, and identical behavior when both consoles play on.
+//
+// This is the end-to-end guarantee behind the flight recorder's delta ring:
+// restoring from base+deltas can never diverge from restoring a full-RAM
+// savestate.
+func TestDeltaRestoreMatchesFullRestore(t *testing.T) {
+	const (
+		frames     = 1200
+		checkEvery = 150
+	)
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			c := mustBoot(t, name)
+			image := c.AppendSaveBase(nil)
+			for f := 0; f < frames; f++ {
+				in := goldenInput(goldenSeed, 0, f) | goldenInput(goldenSeed, 1, f)
+				c.StepFrame(in)
+				if (f+1)%checkEvery != 0 {
+					continue
+				}
+				if err := vm.ApplyDeltaToImage(image, c.AppendSaveDelta(nil)); err != nil {
+					t.Fatalf("frame %d: apply delta: %v", f+1, err)
+				}
+				full := c.Save()
+				if !bytes.Equal(image, full) {
+					t.Fatalf("frame %d: base+deltas differ from the full savestate", f+1)
+				}
+				restored := mustBoot(t, name)
+				if err := restored.Restore(image); err != nil {
+					t.Fatalf("frame %d: restore: %v", f+1, err)
+				}
+				if restored.StateHash() != c.StateHash() {
+					t.Fatalf("frame %d: restored hash %016x != live hash %016x",
+						f+1, restored.StateHash(), c.StateHash())
+				}
+				// Both consoles must agree on the future, not just the present.
+				probe := goldenInput(goldenSeed, 0, f+1) | goldenInput(goldenSeed, 1, f+1)
+				restored.StepFrame(probe)
+				peek, err := vm.New(vm.Params{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := peek.Restore(full); err != nil {
+					t.Fatal(err)
+				}
+				peek.StepFrame(probe)
+				if restored.StateHash() != peek.StateHash() {
+					t.Fatalf("frame %d: replicas diverged one frame after restore", f+1)
+				}
+			}
+		})
+	}
+}

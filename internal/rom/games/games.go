@@ -32,45 +32,31 @@ const libSrc = `
 .equ PAD1,    0xF001
 .equ AUDIOF,  0xF004
 .equ AUDIOV,  0xF005
+.equ BLITX,   0xF008
 
-; clear_screen: fill VRAM with color r1. Clobbers r6-r8.
+; clear_screen: fill VRAM with color r1 via the MMIO blitter. Clobbers r6-r8.
 clear_screen:
-	mov  r6, r1
-	shli r7, r6, 8
-	or   r6, r6, r7
-	shli r7, r6, 16
-	or   r6, r6, r7
-	li   r7, VRAM
-	li   r8, VRAMEND
-cs_loop:
-	stw  r6, [r7]
-	addi r7, r7, 4
-	bne  r7, r8, cs_loop
+	li   r8, BLITX
+	stb  r0, [r8]         ; x = 0
+	stb  r0, [r8+1]       ; y = 0
+	li   r6, 128
+	stb  r6, [r8+2]       ; w = screen width
+	li   r6, 96
+	stb  r6, [r8+3]       ; h = screen height
+	stb  r1, [r8+4]       ; color
+	stb  r0, [r8+5]       ; go
 	ret
 
-; fill_rect: draw w x h rect of color r5 at (r1, r2), w=r3 h=r4.
-; No clipping: the caller keeps coordinates on screen. Clobbers r6-r9.
+; fill_rect: draw w x h rect of color r5 at (r1, r2), w=r3 h=r4, via the
+; MMIO blitter (which clips to the screen). Clobbers r6-r9.
 fill_rect:
-	shli r6, r2, 7        ; y*128
-	add  r6, r6, r1
-	li   r7, VRAM
-	add  r6, r6, r7       ; row address
-	mov  r8, r4           ; rows remaining
-fr_row:
-	beq  r8, r0, fr_done
-	mov  r9, r3           ; cols remaining
-	mov  r7, r6
-fr_col:
-	beq  r9, r0, fr_row_end
-	stb  r5, [r7]
-	addi r7, r7, 1
-	addi r9, r9, -1
-	jmp  fr_col
-fr_row_end:
-	addi r6, r6, 128
-	addi r8, r8, -1
-	jmp  fr_row
-fr_done:
+	li   r8, BLITX
+	stb  r1, [r8]
+	stb  r2, [r8+1]
+	stb  r3, [r8+2]
+	stb  r4, [r8+3]
+	stb  r5, [r8+4]
+	stb  r0, [r8+5]       ; go
 	ret
 
 ; tone: program the audio registers; r1 = freq index (0 = off), r2 = volume.

@@ -17,6 +17,7 @@ func mustBoot(t *testing.T, name string) *vm.Console {
 	if err != nil {
 		t.Fatalf("Boot(%q): %v", name, err)
 	}
+	c.EnableDebugLog() // the game tests observe SYS scoring events
 	return c
 }
 

@@ -76,6 +76,44 @@ type Network struct {
 	mu    sync.Mutex
 	nodes map[string]*Endpoint
 	links map[route]Shaper
+
+	// freeFlights recycles in-flight datagram records (payload buffer and
+	// the delivery closure, bound once per record) so a steady-state
+	// simulation sends without allocating.
+	freeFlights []*flight
+}
+
+// flight is one datagram copy travelling the network: destination, source,
+// its own payload buffer, and a pre-bound delivery closure handed to the
+// scheduler. After delivery the record returns to the network's free list.
+type flight struct {
+	net  *Network
+	dst  *Endpoint
+	from string
+	buf  []byte
+	run  func()
+}
+
+func (f *flight) deliver() {
+	f.dst.enqueue(f.from, f.buf, f.net.sched.Now())
+	f.dst = nil
+	f.net.mu.Lock()
+	f.net.freeFlights = append(f.net.freeFlights, f)
+	f.net.mu.Unlock()
+}
+
+func (n *Network) newFlight() *flight {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l := len(n.freeFlights); l > 0 {
+		f := n.freeFlights[l-1]
+		n.freeFlights[l-1] = nil
+		n.freeFlights = n.freeFlights[:l-1]
+		return f
+	}
+	f := &flight{net: n}
+	f.run = f.deliver
+	return f
 }
 
 type route struct{ src, dst string }
@@ -156,11 +194,21 @@ func (n *Network) unbind(addr string) {
 }
 
 // Datagram is a received packet together with its source address and the
-// instant it was delivered into the receive queue.
+// instant it was delivered into the receive queue. Payload borrows the
+// endpoint's receive ring (see Endpoint.TryRecv for the validity window).
 type Datagram struct {
 	From    string
 	Payload []byte
 	At      time.Time
+}
+
+// recvSlot is one position of an endpoint's receive ring. Its payload buffer
+// is owned by the ring and reused once the slot is overwritten by a later
+// delivery.
+type recvSlot struct {
+	from string
+	at   time.Time
+	buf  []byte
 }
 
 // Endpoint is one bound address on a Network.
@@ -168,10 +216,11 @@ type Endpoint struct {
 	net  *Network
 	addr string
 
-	mu       sync.Mutex
-	queue    []Datagram
-	queueCap int
-	closed   bool
+	mu          sync.Mutex
+	ring        []recvSlot // receive queue: ring[head..head+count)
+	head, count int
+	queueCap    int
+	closed      bool
 
 	sent      int
 	delivered int
@@ -210,55 +259,93 @@ func (e *Endpoint) SendTo(dst string, payload []byte) error {
 		return ErrNoRoute
 	}
 	shaper := e.net.shaperFor(e.addr, dst)
-	now := e.net.sched.Now()
-	offsets := shaper.Plan(now, len(payload))
+	var offsets []time.Duration
+	var one [1]time.Duration
+	if cd, ok := shaper.(ConstantDelay); ok {
+		// Fast path for the default (and most common) shaper: skip the
+		// Plan call and its one-element slice allocation.
+		one[0] = time.Duration(cd)
+		offsets = one[:]
+	} else {
+		offsets = shaper.Plan(e.net.sched.Now(), len(payload))
+	}
 	if len(offsets) == 0 {
 		return nil // shaped away: lost in flight
 	}
-	cp := make([]byte, len(payload))
-	copy(cp, payload)
-	src := e.addr
 	corrupter, _ := shaper.(Corrupter)
 	for _, off := range offsets {
 		if off < MinDelay {
 			off = MinDelay
 		}
-		// Each delivered copy may be corrupted independently; Corrupt
-		// returns a fresh slice when it flips a bit, so the shared copy
-		// stays pristine for the other deliveries.
-		p := cp
+		// Each delivered copy rides its own flight record with its own
+		// payload copy (taken before SendTo returns, so the caller may
+		// reuse its buffer), and may be corrupted independently; Corrupt
+		// never mutates its argument.
+		p := payload
 		if corrupter != nil {
-			p, _ = corrupter.Corrupt(cp)
+			p, _ = corrupter.Corrupt(payload)
 		}
-		e.net.sched.ScheduleAfter(off, func() {
-			dstEp.enqueue(Datagram{From: src, Payload: p, At: e.net.sched.Now()})
-		})
+		f := e.net.newFlight()
+		f.dst = dstEp
+		f.from = e.addr
+		f.buf = append(f.buf[:0], p...)
+		e.net.sched.ScheduleAfter(off, f.run)
 	}
 	return nil
 }
 
-func (e *Endpoint) enqueue(d Datagram) {
+func (e *Endpoint) enqueue(from string, payload []byte, at time.Time) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.closed || len(e.queue) >= e.queueCap {
+	if e.closed || e.count >= e.queueCap {
 		e.dropped++
 		return
 	}
-	e.queue = append(e.queue, d)
+	if e.count == len(e.ring) {
+		e.growLocked()
+	}
+	s := &e.ring[(e.head+e.count)%len(e.ring)]
+	s.from = from
+	s.at = at
+	s.buf = append(s.buf[:0], payload...)
+	e.count++
 	e.delivered++
+}
+
+// growLocked doubles the receive ring (starting at 16 slots), unwrapping the
+// queued entries to the front. The ring never exceeds the point where count
+// can reach queueCap, checked by the caller.
+func (e *Endpoint) growLocked() {
+	n := 2 * len(e.ring)
+	if n < 16 {
+		n = 16
+	}
+	fresh := make([]recvSlot, n)
+	for i := 0; i < e.count; i++ {
+		fresh[i] = e.ring[(e.head+i)%len(e.ring)]
+	}
+	e.ring = fresh
+	e.head = 0
 }
 
 // TryRecv pops the oldest pending datagram without blocking. The second
 // result is false when the queue is empty. Receiving on a closed endpoint
 // still drains packets that were queued before Close.
+//
+// The returned payload borrows the receive ring's buffer: it stays valid
+// until its slot is overwritten by a later delivery (at least ring-size
+// receives away). Callers that retain a payload beyond their current receive
+// loop must copy it.
 func (e *Endpoint) TryRecv() (Datagram, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if len(e.queue) == 0 {
+	if e.count == 0 {
 		return Datagram{}, false
 	}
-	d := e.queue[0]
-	e.queue = e.queue[1:]
+	s := &e.ring[e.head]
+	d := Datagram{From: s.from, Payload: s.buf, At: s.at}
+	e.head = (e.head + 1) % len(e.ring)
+	e.count--
 	return d, true
 }
 
@@ -266,7 +353,7 @@ func (e *Endpoint) TryRecv() (Datagram, bool) {
 func (e *Endpoint) Pending() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return len(e.queue)
+	return e.count
 }
 
 // Stats reports lifetime counters: datagrams sent from this endpoint,

@@ -1,0 +1,129 @@
+package span
+
+import (
+	"testing"
+	"time"
+
+	"retrolock/internal/obs"
+)
+
+func journalPair() (*Journal, *Journal) {
+	epoch := time.Unix(100, 0)
+	mk := func() *Journal {
+		j := NewJournal(epoch, 128)
+		j.Cross = &obs.Histogram{}
+		j.Local = &obs.Histogram{}
+		j.Net = &obs.Histogram{}
+		j.Skew = &obs.Histogram{}
+		return j
+	}
+	return mk(), mk()
+}
+
+// TestBatchMatchesDirectStamps drives an identical stamp sequence through a
+// Batch and through the direct Stamp* methods and checks the journals end up
+// indistinguishable — same spans, same derived-histogram counts.
+func TestBatchMatchesDirectStamps(t *testing.T) {
+	direct, batched := journalPair()
+	var b Batch
+	b.Reset(batched)
+
+	at := func(ms int64) time.Time { return direct.Epoch().Add(time.Duration(ms) * time.Millisecond) }
+	remote := func(ms int64) int64 { return ms * int64(time.Millisecond) }
+
+	for f := int64(0); f < 40; f++ {
+		direct.StampPressed(f, at(f))
+		b.Pressed(f, at(f))
+		direct.StampSendRange(f-2, f, at(f+1))
+		b.SendRange(f-2, f, at(f+1))
+		direct.StampRecv(f, at(f+2), remote(f))
+		b.Recv(f, at(f+2), remote(f))
+		direct.StampRemoteExec(f, remote(f+1), 3)
+		b.RemoteExec(f, remote(f+1), 3)
+		direct.StampExecuted(f, at(f+3))
+		b.Executed(f, at(f+3))
+		direct.StampRendered(f, at(f+4))
+		b.Rendered(f, at(f+4))
+		// Duplicate stamps must lose first-wins in both paths.
+		direct.StampExecuted(f, at(f+9))
+		b.Executed(f, at(f+9))
+	}
+	b.Flush()
+
+	if direct.Stamped() != batched.Stamped() {
+		t.Fatalf("stamped %d via direct, %d via batch", direct.Stamped(), batched.Stamped())
+	}
+	for f := int64(0); f < 40; f++ {
+		want, _ := direct.Get(f)
+		got, ok := batched.Get(f)
+		if !ok || got != want {
+			t.Fatalf("frame %d: batch span %+v != direct %+v", f, got, want)
+		}
+	}
+	for name, pair := range map[string][2]*obs.Histogram{
+		"cross": {direct.Cross, batched.Cross},
+		"local": {direct.Local, batched.Local},
+		"net":   {direct.Net, batched.Net},
+		"skew":  {direct.Skew, batched.Skew},
+	} {
+		if pair[0].Count() != pair[1].Count() || pair[0].Sum() != pair[1].Sum() {
+			t.Errorf("%s histogram diverged: direct {%d %d} batch {%d %d}",
+				name, pair[0].Count(), pair[0].Sum(), pair[1].Count(), pair[1].Sum())
+		}
+	}
+}
+
+// TestBatchAutoFlushesAtCapacity checks that overfilling the inline op array
+// flushes rather than dropping or reordering stamps.
+func TestBatchAutoFlushesAtCapacity(t *testing.T) {
+	j := NewJournal(time.Unix(0, 0), 256)
+	var b Batch
+	b.Reset(j)
+	for f := int64(0); f < batchCap+5; f++ {
+		b.Pressed(f, j.Epoch().Add(time.Duration(f)))
+	}
+	if b.Pending() != 5 {
+		t.Fatalf("pending = %d after auto-flush, want 5", b.Pending())
+	}
+	b.Flush()
+	for f := int64(0); f < batchCap+5; f++ {
+		if s, ok := j.Get(f); !ok || s.Pressed == 0 {
+			t.Fatalf("frame %d lost across auto-flush", f)
+		}
+	}
+}
+
+// TestZeroBatchIsInert makes sure unattached (and nil) batches are safe on
+// every method, mirroring the journal's nil-receiver contract.
+func TestZeroBatchIsInert(t *testing.T) {
+	var b Batch
+	b.Pressed(1, time.Now())
+	b.Executed(1, time.Now())
+	b.Flush()
+	var pb *Batch
+	pb.Rendered(1, time.Now())
+	pb.Flush()
+	if pb.Pending() != 0 || b.Pending() != 0 {
+		t.Fatal("inert batch accumulated ops")
+	}
+}
+
+// TestBatchStampingDoesNotAllocate pins the hot-path contract: recording into
+// a batch and flushing it must stay on the stack.
+func TestBatchStampingDoesNotAllocate(t *testing.T) {
+	j := NewJournal(time.Unix(0, 0), 128)
+	var b Batch
+	b.Reset(j)
+	now := time.Unix(1, 0)
+	var f int64
+	allocs := testing.AllocsPerRun(500, func() {
+		b.Pressed(f, now)
+		b.Executed(f, now)
+		b.Rendered(f, now)
+		b.Flush()
+		f++
+	})
+	if allocs != 0 {
+		t.Fatalf("batch stamping allocates %v per frame, want 0", allocs)
+	}
+}

@@ -177,11 +177,15 @@ func (j *Journal) StampPressed(frame int64, at time.Time) {
 	}
 	t := j.ns(at)
 	j.mu.Lock()
+	j.pressedLocked(frame, t)
+	j.mu.Unlock()
+}
+
+func (j *Journal) pressedLocked(frame, t int64) {
 	if s := j.slot(frame); s != nil && s.Pressed == 0 {
 		s.Pressed = t
 		j.stamped++
 	}
-	j.mu.Unlock()
 }
 
 // StampSendRange marks frames from..to (inclusive) as encoded and sent at
@@ -195,6 +199,11 @@ func (j *Journal) StampSendRange(from, to int64, at time.Time) {
 	}
 	t := j.ns(at)
 	j.mu.Lock()
+	j.sendRangeLocked(from, to, t)
+	j.mu.Unlock()
+}
+
+func (j *Journal) sendRangeLocked(from, to, t int64) {
 	for f := from; f <= to; f++ {
 		s := j.slot(f)
 		if s == nil {
@@ -211,7 +220,6 @@ func (j *Journal) StampSendRange(from, to int64, at time.Time) {
 	if to > j.lastSent {
 		j.lastSent = to
 	}
-	j.mu.Unlock()
 }
 
 // StampRecv marks the peer's input for frame as received and merged at at,
@@ -224,6 +232,11 @@ func (j *Journal) StampRecv(frame int64, at time.Time, remoteSendNs int64) {
 	}
 	t := j.ns(at)
 	j.mu.Lock()
+	j.recvLocked(frame, t, remoteSendNs)
+	j.mu.Unlock()
+}
+
+func (j *Journal) recvLocked(frame, t, remoteSendNs int64) {
 	if s := j.slot(frame); s != nil && s.Recv == 0 {
 		s.Recv = t
 		s.Merged = t
@@ -233,7 +246,6 @@ func (j *Journal) StampRecv(frame int64, at time.Time, remoteSendNs int64) {
 		}
 		j.stamped++
 	}
-	j.mu.Unlock()
 }
 
 // StampExecuted marks this site as having begun executing frame at at. It
@@ -246,6 +258,11 @@ func (j *Journal) StampExecuted(frame int64, at time.Time) {
 	}
 	t := j.ns(at)
 	j.mu.Lock()
+	j.executedLocked(frame, t)
+	j.mu.Unlock()
+}
+
+func (j *Journal) executedLocked(frame, t int64) {
 	if s := j.slot(frame); s != nil && s.Executed == 0 {
 		s.Executed = t
 		if s.Pressed != 0 {
@@ -259,7 +276,6 @@ func (j *Journal) StampExecuted(frame int64, at time.Time) {
 		}
 		j.stamped++
 	}
-	j.mu.Unlock()
 }
 
 // StampRendered marks this site as having completed frame's emulation step.
@@ -269,11 +285,15 @@ func (j *Journal) StampRendered(frame int64, at time.Time) {
 	}
 	t := j.ns(at)
 	j.mu.Lock()
+	j.renderedLocked(frame, t)
+	j.mu.Unlock()
+}
+
+func (j *Journal) renderedLocked(frame, t int64) {
 	if s := j.slot(frame); s != nil && s.Rendered == 0 {
 		s.Rendered = t
 		j.stamped++
 	}
-	j.mu.Unlock()
 }
 
 // StampRemoteExec records that the peer began executing frame at remoteNs
@@ -287,6 +307,11 @@ func (j *Journal) StampRemoteExec(frame int64, remoteNs int64, lag int64) {
 		return
 	}
 	j.mu.Lock()
+	j.remoteExecLocked(frame, remoteNs, lag)
+	j.mu.Unlock()
+}
+
+func (j *Journal) remoteExecLocked(frame, remoteNs, lag int64) {
 	if s := j.slot(frame); s != nil && s.RemoteExec == 0 {
 		s.RemoteExec = remoteNs
 		if s.Executed != 0 {
@@ -302,7 +327,6 @@ func (j *Journal) StampRemoteExec(frame int64, remoteNs int64, lag int64) {
 			}
 		}
 	}
-	j.mu.Unlock()
 }
 
 // Retransmit attributes one ARQ segment retransmission (at at) to the newest

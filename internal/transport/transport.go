@@ -33,8 +33,10 @@ type Conn interface {
 	Send(p []byte) error
 
 	// TryRecv pops the oldest pending datagram without blocking. ok is
-	// false when nothing is pending. The returned slice is owned by the
-	// caller.
+	// false when nothing is pending. The returned slice borrows the
+	// connection's receive buffering: it is valid until the next TryRecv
+	// on the same connection. Callers that retain a payload must copy it
+	// (the sync module decodes every datagram before polling again).
 	TryRecv() (p []byte, ok bool)
 
 	// Close releases the connection. Further Sends fail with ErrClosed;

@@ -39,6 +39,12 @@ type Virtual struct {
 	sleepers sleeperQueue
 	events   eventQueue
 	seq      uint64
+
+	// Free lists recycle sleeper and event records (and the sleepers' wake
+	// channels) so a steady-state simulation — every frame sleeps once and
+	// schedules a few deliveries — settles to zero allocations per frame.
+	freeSleepers []*sleeper
+	freeEvents   []*event
 }
 
 // NewVirtual returns a virtual clock whose current instant is start.
@@ -103,12 +109,28 @@ func (v *Virtual) Sleep(d time.Duration) {
 		d = 0
 	}
 	v.mu.Lock()
-	s := &sleeper{wake: v.now.Add(d), seq: v.nextSeq(), ch: make(chan struct{})}
+	var s *sleeper
+	if n := len(v.freeSleepers); n > 0 {
+		s = v.freeSleepers[n-1]
+		v.freeSleepers[n-1] = nil
+		v.freeSleepers = v.freeSleepers[:n-1]
+	} else {
+		// Capacity 1 so the waker's send never blocks while holding the
+		// clock lock.
+		s = &sleeper{ch: make(chan struct{}, 1)}
+	}
+	s.wake = v.now.Add(d)
+	s.seq = v.nextSeq()
 	heap.Push(&v.sleepers, s)
 	v.parked++
 	v.advanceLocked()
 	v.mu.Unlock()
 	<-s.ch
+	// Only this goroutine holds s now (the waker released it with the send),
+	// so it can go straight back on the free list.
+	v.mu.Lock()
+	v.freeSleepers = append(v.freeSleepers, s)
+	v.mu.Unlock()
 }
 
 // Schedule runs fn when the virtual clock reaches at. If at is not after the
@@ -117,7 +139,7 @@ func (v *Virtual) Sleep(d time.Duration) {
 func (v *Virtual) Schedule(at time.Time, fn func()) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	heap.Push(&v.events, &event{at: at, seq: v.nextSeq(), fn: fn})
+	heap.Push(&v.events, v.newEventLocked(at, fn))
 }
 
 // ScheduleAfter runs fn once d of virtual time has passed.
@@ -127,7 +149,20 @@ func (v *Virtual) ScheduleAfter(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	heap.Push(&v.events, &event{at: v.now.Add(d), seq: v.nextSeq(), fn: fn})
+	heap.Push(&v.events, v.newEventLocked(v.now.Add(d), fn))
+}
+
+func (v *Virtual) newEventLocked(at time.Time, fn func()) *event {
+	var e *event
+	if n := len(v.freeEvents); n > 0 {
+		e = v.freeEvents[n-1]
+		v.freeEvents[n-1] = nil
+		v.freeEvents = v.freeEvents[:n-1]
+	} else {
+		e = &event{}
+	}
+	e.at, e.seq, e.fn = at, v.nextSeq(), fn
+	return e
 }
 
 func (v *Virtual) nextSeq() uint64 {
@@ -151,15 +186,18 @@ func (v *Virtual) advanceLocked() {
 		}
 		for len(v.events) > 0 && !v.events[0].at.After(v.now) {
 			e := heap.Pop(&v.events).(*event)
+			fn := e.fn
+			e.fn = nil // release the closure; the record is recycled
+			v.freeEvents = append(v.freeEvents, e)
 			v.mu.Unlock()
-			e.fn()
+			fn()
 			v.mu.Lock()
 		}
 		woke := false
 		for len(v.sleepers) > 0 && !v.sleepers[0].wake.After(v.now) {
 			s := heap.Pop(&v.sleepers).(*sleeper)
 			v.parked--
-			close(s.ch)
+			s.ch <- struct{}{} // hands s back to its sleeping goroutine
 			woke = true
 		}
 		if woke {

@@ -44,6 +44,27 @@ type Console struct {
 
 	audio audioState
 
+	// dirty is the live page bitmap: every store path marks the touched
+	// pages here, and drainDirty folds it into the consumer accumulators.
+	dirty PageBitmap
+	// hashDirty accumulates pages changed since the last StateHash; only
+	// those page hashes are recomputed.
+	hashDirty PageBitmap
+	// snapDirty accumulates pages changed since the last AppendSaveBase /
+	// AppendSaveDelta capture — the delta-savestate chain.
+	snapDirty PageBitmap
+	// pageHash caches the per-page digest behind the incremental StateHash.
+	pageHash [NumPages]uint64
+
+	// pendingCycles is the extra instruction-budget cost charged by the
+	// blitter; the interpreter folds it into the frame's cycle count right
+	// after the store that triggered the fill.
+	pendingCycles int
+
+	// debugOn gates SYS logging. Off by default: the log exists for tests
+	// and tooling, and the append would be the only allocation on the
+	// session hot path.
+	debugOn  bool
 	debugLog []DebugEvent
 
 	// lastCycles is the instruction count of the most recent frame.
@@ -75,6 +96,9 @@ func New(p Params) (*Console, error) {
 	if c.lfsr == 0 {
 		c.lfsr = 0xACE1 // any nonzero tap state
 	}
+	// A fresh console is entirely "modified": both incremental consumers
+	// must start from a full recompute.
+	c.markAllDirty()
 	return c, nil
 }
 
@@ -88,25 +112,11 @@ func (c *Console) StepFrame(input uint16) {
 	}
 	c.mem[AddrPad0] = byte(input)
 	c.mem[AddrPad1] = byte(input >> 8)
-	binary.LittleEndian.PutUint16(c.mem[AddrFrame:], uint16(c.frame))
+	binary.LittleEndian.PutUint16(c.mem[AddrFrame:AddrFrame+2], uint16(c.frame))
+	c.markAddr(AddrPad0) // pads and frame counter share the MMIO page
 
-	ran := 0
-	for ; ran < CyclesPerFrame; ran++ {
-		if c.trace != nil {
-			pc := c.pc
-			c.trace(TraceEvent{
-				Frame: c.frame,
-				Cycle: ran,
-				PC:    pc,
-				Instr: Decode(c.mem[pc], c.mem[(pc+1)&0xFFFF], c.mem[(pc+2)&0xFFFF], c.mem[(pc+3)&0xFFFF]),
-			})
-		}
-		stop := c.exec()
-		if stop {
-			break
-		}
-	}
-	if ran == CyclesPerFrame {
+	ran := c.run(CyclesPerFrame)
+	if ran >= CyclesPerFrame {
 		c.overruns++
 	}
 	c.lastCycles = ran
@@ -118,168 +128,340 @@ func (c *Console) StepFrame(input uint16) {
 // Tracing is read-only and does not alter execution or state hashes.
 func (c *Console) SetTrace(fn func(TraceEvent)) { c.trace = fn }
 
+// EnableDebugLog turns on SYS trap recording (see DebugLog). The log is off
+// by default so the frame-loop hot path never allocates; tests and tooling
+// opt in right after boot.
+func (c *Console) EnableDebugLog() { c.debugOn = true }
+
 // CyclesLastFrame reports how many instructions the most recent frame ran.
 func (c *Console) CyclesLastFrame() int { return c.lastCycles }
 
-// exec runs one instruction; it reports true when the frame must end.
-func (c *Console) exec() bool {
+// run executes instructions until YIELD, HALT, an illegal opcode or the
+// cycle budget, and returns the consumed cycle count (terminating
+// instructions are not counted, matching the original per-instruction
+// stepper). The loop is the interpreter hot path: one 32-bit fetch, shift
+// decoding and inline dispatch — no per-instruction function calls and no
+// Instr construction.
+func (c *Console) run(budget int) int {
 	pc := c.pc
-	in := Decode(
-		c.mem[pc],
-		c.mem[(pc+1)&0xFFFF],
-		c.mem[(pc+2)&0xFFFF],
-		c.mem[(pc+3)&0xFFFF],
-	)
-	c.pc = pc + 4
-
-	switch in.Op {
-	case OpNOP:
-	case OpHALT:
-		c.halted = true
-		c.pc = pc // freeze
-		return true
-	case OpYIELD:
-		return true
-
-	case OpMOVI:
-		c.set(in.Rd, uint32(in.SImm()))
-	case OpMOVHI:
-		c.set(in.Rd, c.regs[in.Rd]&0xFFFF|uint32(in.Imm)<<16)
-	case OpMOV:
-		c.set(in.Rd, c.regs[in.Ra])
-
-	case OpADD:
-		c.set(in.Rd, c.regs[in.Ra]+c.regs[in.Rb])
-	case OpSUB:
-		c.set(in.Rd, c.regs[in.Ra]-c.regs[in.Rb])
-	case OpMUL:
-		c.set(in.Rd, c.regs[in.Ra]*c.regs[in.Rb])
-	case OpDIV:
-		c.set(in.Rd, sdiv(c.regs[in.Ra], c.regs[in.Rb]))
-	case OpMOD:
-		c.set(in.Rd, smod(c.regs[in.Ra], c.regs[in.Rb]))
-	case OpAND:
-		c.set(in.Rd, c.regs[in.Ra]&c.regs[in.Rb])
-	case OpOR:
-		c.set(in.Rd, c.regs[in.Ra]|c.regs[in.Rb])
-	case OpXOR:
-		c.set(in.Rd, c.regs[in.Ra]^c.regs[in.Rb])
-	case OpSHL:
-		c.set(in.Rd, c.regs[in.Ra]<<(c.regs[in.Rb]&31))
-	case OpSHR:
-		c.set(in.Rd, c.regs[in.Ra]>>(c.regs[in.Rb]&31))
-	case OpSAR:
-		c.set(in.Rd, uint32(int32(c.regs[in.Ra])>>(c.regs[in.Rb]&31)))
-
-	case OpADDI:
-		c.set(in.Rd, c.regs[in.Ra]+uint32(in.SImm()))
-	case OpMULI:
-		c.set(in.Rd, c.regs[in.Ra]*uint32(in.SImm()))
-	case OpANDI:
-		c.set(in.Rd, c.regs[in.Ra]&uint32(in.Imm))
-	case OpORI:
-		c.set(in.Rd, c.regs[in.Ra]|uint32(in.Imm))
-	case OpXORI:
-		c.set(in.Rd, c.regs[in.Ra]^uint32(in.Imm))
-	case OpSHLI:
-		c.set(in.Rd, c.regs[in.Ra]<<(in.Imm&31))
-	case OpSHRI:
-		c.set(in.Rd, c.regs[in.Ra]>>(in.Imm&31))
-	case OpSARI:
-		c.set(in.Rd, uint32(int32(c.regs[in.Ra])>>(in.Imm&31)))
-	case OpDIVI:
-		c.set(in.Rd, sdiv(c.regs[in.Ra], uint32(in.SImm())))
-	case OpMODI:
-		c.set(in.Rd, smod(c.regs[in.Ra], uint32(in.SImm())))
-
-	case OpLDB:
-		c.set(in.Rd, uint32(c.load8(c.ea(in))))
-	case OpLDH:
-		c.set(in.Rd, uint32(c.load16(c.ea(in))))
-	case OpLDW:
-		c.set(in.Rd, c.load32(c.ea(in)))
-	case OpSTB:
-		c.store8(c.ea(in), byte(c.regs[in.Rd]))
-	case OpSTH:
-		c.store16(c.ea(in), uint16(c.regs[in.Rd]))
-	case OpSTW:
-		c.store32(c.ea(in), c.regs[in.Rd])
-
-	case OpJMP:
-		c.pc = in.Imm
-	case OpJR:
-		c.pc = uint16(c.regs[in.Ra])
-	case OpCALL:
-		c.push(uint32(c.pc))
-		c.pc = in.Imm
-	case OpRET:
-		c.pc = uint16(c.pop())
-
-	case OpBEQ:
-		if c.regs[in.Rd] == c.regs[in.Ra] {
-			c.pc = in.Imm
+	mem := &c.mem
+	regs := &c.regs
+	ran := 0
+	for ran < budget {
+		if c.trace != nil {
+			c.trace(TraceEvent{
+				Frame: c.frame,
+				Cycle: ran,
+				PC:    pc,
+				Instr: Decode(mem[pc], mem[(pc+1)&0xFFFF], mem[(pc+2)&0xFFFF], mem[(pc+3)&0xFFFF]),
+			})
 		}
-	case OpBNE:
-		if c.regs[in.Rd] != c.regs[in.Ra] {
-			c.pc = in.Imm
+		var w uint32
+		if pc <= MemSize-4 {
+			w = binary.LittleEndian.Uint32(mem[pc:])
+		} else {
+			w = uint32(mem[pc]) |
+				uint32(mem[(pc+1)&0xFFFF])<<8 |
+				uint32(mem[(pc+2)&0xFFFF])<<16 |
+				uint32(mem[(pc+3)&0xFFFF])<<24
 		}
-	case OpBLT:
-		if int32(c.regs[in.Rd]) < int32(c.regs[in.Ra]) {
-			c.pc = in.Imm
-		}
-	case OpBGE:
-		if int32(c.regs[in.Rd]) >= int32(c.regs[in.Ra]) {
-			c.pc = in.Imm
-		}
-	case OpBLTU:
-		if c.regs[in.Rd] < c.regs[in.Ra] {
-			c.pc = in.Imm
-		}
-	case OpBGEU:
-		if c.regs[in.Rd] >= c.regs[in.Ra] {
-			c.pc = in.Imm
-		}
+		op := byte(w)
+		b1 := byte(w >> 8)
+		rd := b1 >> 4
+		ra := b1 & 0x0F
+		imm := uint16(w >> 16)
+		npc := pc + 4
 
-	case OpPUSH:
-		c.push(c.regs[in.Rd])
-	case OpPOP:
-		c.set(in.Rd, c.pop())
+		switch op {
+		case OpNOP:
+		case OpHALT:
+			c.halted = true
+			c.pc = pc // freeze
+			return ran
+		case OpYIELD:
+			c.pc = npc
+			return ran
 
-	case OpRAND:
-		c.set(in.Rd, uint32(c.rand16()))
-	case OpSYS:
-		if len(c.debugLog) < maxDebugEvents {
-			c.debugLog = append(c.debugLog, DebugEvent{Frame: c.frame, Code: in.Imm, Value: c.regs[in.Rd]})
+		case OpMOVI:
+			if rd != 0 {
+				regs[rd] = uint32(int32(int16(imm)))
+			}
+		case OpMOVHI:
+			if rd != 0 {
+				regs[rd] = regs[rd]&0xFFFF | uint32(imm)<<16
+			}
+		case OpMOV:
+			if rd != 0 {
+				regs[rd] = regs[ra]
+			}
+
+		case OpADD:
+			if rd != 0 {
+				regs[rd] = regs[ra] + regs[imm&0x0F]
+			}
+		case OpSUB:
+			if rd != 0 {
+				regs[rd] = regs[ra] - regs[imm&0x0F]
+			}
+		case OpMUL:
+			if rd != 0 {
+				regs[rd] = regs[ra] * regs[imm&0x0F]
+			}
+		case OpDIV:
+			if rd != 0 {
+				regs[rd] = sdiv(regs[ra], regs[imm&0x0F])
+			}
+		case OpMOD:
+			if rd != 0 {
+				regs[rd] = smod(regs[ra], regs[imm&0x0F])
+			}
+		case OpAND:
+			if rd != 0 {
+				regs[rd] = regs[ra] & regs[imm&0x0F]
+			}
+		case OpOR:
+			if rd != 0 {
+				regs[rd] = regs[ra] | regs[imm&0x0F]
+			}
+		case OpXOR:
+			if rd != 0 {
+				regs[rd] = regs[ra] ^ regs[imm&0x0F]
+			}
+		case OpSHL:
+			if rd != 0 {
+				regs[rd] = regs[ra] << (regs[imm&0x0F] & 31)
+			}
+		case OpSHR:
+			if rd != 0 {
+				regs[rd] = regs[ra] >> (regs[imm&0x0F] & 31)
+			}
+		case OpSAR:
+			if rd != 0 {
+				regs[rd] = uint32(int32(regs[ra]) >> (regs[imm&0x0F] & 31))
+			}
+
+		case OpADDI:
+			if rd != 0 {
+				regs[rd] = regs[ra] + uint32(int32(int16(imm)))
+			}
+		case OpMULI:
+			if rd != 0 {
+				regs[rd] = regs[ra] * uint32(int32(int16(imm)))
+			}
+		case OpANDI:
+			if rd != 0 {
+				regs[rd] = regs[ra] & uint32(imm)
+			}
+		case OpORI:
+			if rd != 0 {
+				regs[rd] = regs[ra] | uint32(imm)
+			}
+		case OpXORI:
+			if rd != 0 {
+				regs[rd] = regs[ra] ^ uint32(imm)
+			}
+		case OpSHLI:
+			if rd != 0 {
+				regs[rd] = regs[ra] << (imm & 31)
+			}
+		case OpSHRI:
+			if rd != 0 {
+				regs[rd] = regs[ra] >> (imm & 31)
+			}
+		case OpSARI:
+			if rd != 0 {
+				regs[rd] = uint32(int32(regs[ra]) >> (imm & 31))
+			}
+		case OpDIVI:
+			if rd != 0 {
+				regs[rd] = sdiv(regs[ra], uint32(int32(int16(imm))))
+			}
+		case OpMODI:
+			if rd != 0 {
+				regs[rd] = smod(regs[ra], uint32(int32(int16(imm))))
+			}
+
+		case OpLDB:
+			if rd != 0 {
+				regs[rd] = uint32(mem[uint16(regs[ra]+uint32(int32(int16(imm))))])
+			}
+		case OpLDH:
+			a := uint16(regs[ra] + uint32(int32(int16(imm))))
+			var v uint16
+			if a <= MemSize-2 {
+				v = binary.LittleEndian.Uint16(mem[a:])
+			} else {
+				v = c.load16(a)
+			}
+			if rd != 0 {
+				regs[rd] = uint32(v)
+			}
+		case OpLDW:
+			a := uint16(regs[ra] + uint32(int32(int16(imm))))
+			var v uint32
+			if a <= MemSize-4 {
+				v = binary.LittleEndian.Uint32(mem[a:])
+			} else {
+				v = c.load32(a)
+			}
+			if rd != 0 {
+				regs[rd] = v
+			}
+
+		case OpSTB:
+			a := uint16(regs[ra] + uint32(int32(int16(imm))))
+			if a>>pageShift != mmioPage {
+				mem[a] = byte(regs[rd])
+				c.dirty[a>>14] |= 1 << ((a >> pageShift) & 63)
+			} else {
+				c.storeMMIO(a, byte(regs[rd]))
+				if c.pendingCycles != 0 {
+					ran += c.pendingCycles
+					c.pendingCycles = 0
+				}
+			}
+		case OpSTH:
+			a := uint16(regs[ra] + uint32(int32(int16(imm))))
+			// Fast path: no wrap and at least a page away from MMIO.
+			if a <= MemSize-2 && uint16(a-(AddrPad0-1)) > PageSize {
+				binary.LittleEndian.PutUint16(mem[a:], uint16(regs[rd]))
+				c.dirty[a>>14] |= 1 << ((a >> pageShift) & 63)
+				e := a + 1
+				c.dirty[e>>14] |= 1 << ((e >> pageShift) & 63)
+			} else {
+				c.store16(a, uint16(regs[rd]))
+				if c.pendingCycles != 0 {
+					ran += c.pendingCycles
+					c.pendingCycles = 0
+				}
+			}
+		case OpSTW:
+			a := uint16(regs[ra] + uint32(int32(int16(imm))))
+			if a <= MemSize-4 && uint16(a-(AddrPad0-3)) > PageSize+2 {
+				binary.LittleEndian.PutUint32(mem[a:], regs[rd])
+				c.dirty[a>>14] |= 1 << ((a >> pageShift) & 63)
+				e := a + 3
+				c.dirty[e>>14] |= 1 << ((e >> pageShift) & 63)
+			} else {
+				c.store32(a, regs[rd])
+				if c.pendingCycles != 0 {
+					ran += c.pendingCycles
+					c.pendingCycles = 0
+				}
+			}
+
+		case OpJMP:
+			npc = imm
+		case OpJR:
+			npc = uint16(regs[ra])
+		case OpCALL:
+			regs[RegSP] -= 4
+			a := uint16(regs[RegSP])
+			if a <= MemSize-4 && uint16(a-(AddrPad0-3)) > PageSize+2 {
+				binary.LittleEndian.PutUint32(mem[a:], uint32(npc))
+				c.dirty[a>>14] |= 1 << ((a >> pageShift) & 63)
+				e := a + 3
+				c.dirty[e>>14] |= 1 << ((e >> pageShift) & 63)
+			} else {
+				c.store32(a, uint32(npc))
+				if c.pendingCycles != 0 {
+					ran += c.pendingCycles
+					c.pendingCycles = 0
+				}
+			}
+			npc = imm
+		case OpRET:
+			a := uint16(regs[RegSP])
+			var v uint32
+			if a <= MemSize-4 {
+				v = binary.LittleEndian.Uint32(mem[a:])
+			} else {
+				v = c.load32(a)
+			}
+			regs[RegSP] += 4
+			npc = uint16(v)
+
+		case OpBEQ:
+			if regs[rd] == regs[ra] {
+				npc = imm
+			}
+		case OpBNE:
+			if regs[rd] != regs[ra] {
+				npc = imm
+			}
+		case OpBLT:
+			if int32(regs[rd]) < int32(regs[ra]) {
+				npc = imm
+			}
+		case OpBGE:
+			if int32(regs[rd]) >= int32(regs[ra]) {
+				npc = imm
+			}
+		case OpBLTU:
+			if regs[rd] < regs[ra] {
+				npc = imm
+			}
+		case OpBGEU:
+			if regs[rd] >= regs[ra] {
+				npc = imm
+			}
+
+		case OpPUSH:
+			regs[RegSP] -= 4
+			a := uint16(regs[RegSP])
+			if a <= MemSize-4 && uint16(a-(AddrPad0-3)) > PageSize+2 {
+				binary.LittleEndian.PutUint32(mem[a:], regs[rd])
+				c.dirty[a>>14] |= 1 << ((a >> pageShift) & 63)
+				e := a + 3
+				c.dirty[e>>14] |= 1 << ((e >> pageShift) & 63)
+			} else {
+				c.store32(a, regs[rd])
+				if c.pendingCycles != 0 {
+					ran += c.pendingCycles
+					c.pendingCycles = 0
+				}
+			}
+		case OpPOP:
+			a := uint16(regs[RegSP])
+			var v uint32
+			if a <= MemSize-4 {
+				v = binary.LittleEndian.Uint32(mem[a:])
+			} else {
+				v = c.load32(a)
+			}
+			regs[RegSP] += 4
+			if rd != 0 {
+				regs[rd] = v
+			}
+
+		case OpRAND:
+			if rd != 0 {
+				regs[rd] = uint32(c.rand16())
+			}
+		case OpSYS:
+			if c.debugOn && len(c.debugLog) < maxDebugEvents {
+				c.debugLog = append(c.debugLog, DebugEvent{Frame: c.frame, Code: imm, Value: regs[rd]})
+			}
+
+		default:
+			// Unknown opcode: halt deterministically rather than guessing.
+			c.halted = true
+			c.pc = pc
+			return ran
 		}
-
-	default:
-		// Unknown opcode: halt deterministically rather than guessing.
-		c.halted = true
-		c.pc = pc
-		return true
+		ran++
+		pc = npc
 	}
-	return false
+	c.pc = pc
+	return ran
 }
 
-// set writes a register, keeping R0 hardwired to zero.
-func (c *Console) set(r byte, v uint32) {
-	if r == 0 {
-		return
-	}
-	c.regs[r] = v
-}
-
-// ea computes the effective address of a memory instruction.
-func (c *Console) ea(in Instr) uint16 {
-	return uint16(c.regs[in.Ra] + uint32(in.SImm()))
-}
-
-func (c *Console) load8(a uint16) byte { return c.mem[a] }
-
+// load16 is the wrap-around (address 0xFFFF) halfword load.
 func (c *Console) load16(a uint16) uint16 {
 	return uint16(c.mem[a]) | uint16(c.mem[(a+1)&0xFFFF])<<8
 }
 
+// load32 is the wrap-around word load.
 func (c *Console) load32(a uint16) uint32 {
 	return uint32(c.mem[a]) |
 		uint32(c.mem[(a+1)&0xFFFF])<<8 |
@@ -287,14 +469,32 @@ func (c *Console) load32(a uint16) uint32 {
 		uint32(c.mem[(a+3)&0xFFFF])<<24
 }
 
-// store8 writes memory, keeping the read-only MMIO bytes (pads and frame
-// counter) immutable from the program's side.
+// store8 writes one byte of memory, honoring the MMIO page's read-only and
+// device semantics, and marks the page dirty.
 func (c *Console) store8(a uint16, v byte) {
-	switch a {
-	case AddrPad0, AddrPad1, AddrFrame, AddrFrame + 1:
+	if a>>pageShift == mmioPage {
+		c.storeMMIO(a, v)
 		return
 	}
 	c.mem[a] = v
+	c.markAddr(a)
+}
+
+// storeMMIO handles byte stores into the 0xF0xx device page: the pads and
+// frame counter are read-only, a write to AddrBlitGo fires the fill blitter,
+// and everything else behaves as plain memory.
+func (c *Console) storeMMIO(a uint16, v byte) {
+	switch a {
+	case AddrPad0, AddrPad1, AddrFrame, AddrFrame + 1:
+		return
+	case AddrBlitGo:
+		c.mem[a] = v
+		c.markAddr(a)
+		c.blit()
+	default:
+		c.mem[a] = v
+		c.markAddr(a)
+	}
 }
 
 func (c *Console) store16(a uint16, v uint16) {
@@ -307,17 +507,6 @@ func (c *Console) store32(a uint16, v uint32) {
 	c.store8((a+1)&0xFFFF, byte(v>>8))
 	c.store8((a+2)&0xFFFF, byte(v>>16))
 	c.store8((a+3)&0xFFFF, byte(v>>24))
-}
-
-func (c *Console) push(v uint32) {
-	c.regs[RegSP] -= 4
-	c.store32(uint16(c.regs[RegSP]), v)
-}
-
-func (c *Console) pop() uint32 {
-	v := c.load32(uint16(c.regs[RegSP]))
-	c.regs[RegSP] += 4
-	return v
 }
 
 // rand16 advances the 16-bit Fibonacci LFSR (taps 16,14,13,11) once per
@@ -369,9 +558,13 @@ func (c *Console) Peek32(addr uint16) uint32 { return c.load32(addr) }
 
 // Poke writes a byte of memory, honoring MMIO read-only rules. It exists for
 // tests; game-transparent operation never pokes memory from outside.
-func (c *Console) Poke(addr uint16, v byte) { c.store8(addr, v) }
+func (c *Console) Poke(addr uint16, v byte) {
+	c.store8(addr, v)
+	c.pendingCycles = 0 // an out-of-band poke of BLITGO costs no game cycles
+}
 
-// DebugLog returns the recorded SYS events.
+// DebugLog returns the recorded SYS events (empty unless EnableDebugLog was
+// called).
 func (c *Console) DebugLog() []DebugEvent {
 	out := make([]DebugEvent, len(c.debugLog))
 	copy(out, c.debugLog)

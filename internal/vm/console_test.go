@@ -21,6 +21,7 @@ func boot(t *testing.T, code []byte) *Console {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
+	c.EnableDebugLog()
 	return c
 }
 

@@ -1,0 +1,105 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Delta savestates: incremental capture driven by the dirty-page bitmap.
+//
+// A capture chain alternates a base (a full RKSV image, identical to Save)
+// with deltas that carry only the pages mutated since the previous capture
+// in the chain. Applying a delta to the full image of the previous capture
+// reproduces, byte for byte, the full image Save would have produced at the
+// delta's frame. The chain state (snapDirty) lives in the console and is
+// touched ONLY by AppendSaveBase and AppendSaveDelta — a plain Save/
+// AppendSave in between (e.g. for a late joiner) does not disturb it.
+//
+// delta format (little endian):
+//
+//	magic   "RKSD" (4)
+//	version u16
+//	header  — same fields and offsets as RKSV (pc, frame, flags, lfsr,
+//	          phase, overrun, regs); see state.go
+//	npages  u16
+//	npages x { page u16, 256 bytes }
+const (
+	deltaMagic     = "RKSD"
+	deltaHeaderLen = saveMemOff + 2 // RKSV header + npages
+)
+
+// AppendSaveBase captures a full savestate image (identical bytes to
+// AppendSave) and restarts the delta chain: the next AppendSaveDelta will be
+// relative to this capture.
+func (c *Console) AppendSaveBase(buf []byte) []byte {
+	c.drainDirty()
+	c.snapDirty.Clear()
+	return c.AppendSave(buf)
+}
+
+// AppendSaveDelta appends a delta capture holding every page mutated since
+// the previous AppendSaveBase/AppendSaveDelta, and marks those pages clean
+// in the chain. Must follow an AppendSaveBase on the same console.
+func (c *Console) AppendSaveDelta(buf []byte) []byte {
+	c.drainDirty()
+	buf = c.appendSaveHeader(buf)
+	buf[len(buf)-saveMemOff] = deltaMagic[0]
+	buf[len(buf)-saveMemOff+1] = deltaMagic[1]
+	buf[len(buf)-saveMemOff+2] = deltaMagic[2]
+	buf[len(buf)-saveMemOff+3] = deltaMagic[3]
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(c.snapDirty.Count()))
+	for wi, wv := range c.snapDirty {
+		for wv != 0 {
+			p := wi<<6 + bits.TrailingZeros64(wv)
+			wv &= wv - 1
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(p))
+			buf = append(buf, c.mem[p<<pageShift:p<<pageShift+PageSize]...)
+		}
+	}
+	c.snapDirty.Clear()
+	return buf
+}
+
+// ApplyDeltaToImage patches a full RKSV savestate image in place with a
+// delta capture, producing the full image of the delta's frame. image must
+// be exactly saveLen bytes (a prior base or base+deltas materialization).
+func ApplyDeltaToImage(image, delta []byte) error {
+	if len(image) != saveLen {
+		return fmt.Errorf("vm: base image is %d bytes, want %d", len(image), saveLen)
+	}
+	if string(image[:4]) != saveMagic {
+		return fmt.Errorf("vm: bad base image magic %q", image[:4])
+	}
+	if len(delta) < deltaHeaderLen {
+		return fmt.Errorf("vm: delta of %d bytes is shorter than its %d-byte header", len(delta), deltaHeaderLen)
+	}
+	if string(delta[:4]) != deltaMagic {
+		return fmt.Errorf("vm: bad delta magic %q", delta[:4])
+	}
+	if v := binary.LittleEndian.Uint16(delta[4:6]); v != saveVersion {
+		return fmt.Errorf("vm: delta version %d unsupported (want %d)", v, saveVersion)
+	}
+	npages := int(binary.LittleEndian.Uint16(delta[saveMemOff:]))
+	want := deltaHeaderLen + npages*(2+PageSize)
+	if len(delta) != want {
+		return fmt.Errorf("vm: delta declares %d pages (%d bytes), got %d", npages, want, len(delta))
+	}
+	// Header fields share offsets between the two formats.
+	copy(image[savePCOff:saveMemOff], delta[savePCOff:saveMemOff])
+	off := deltaHeaderLen
+	for i := 0; i < npages; i++ {
+		p := int(binary.LittleEndian.Uint16(delta[off:]))
+		if p >= NumPages {
+			return fmt.Errorf("vm: delta page %d out of range", p)
+		}
+		off += 2
+		copy(image[saveMemOff+p<<pageShift:saveMemOff+p<<pageShift+PageSize], delta[off:off+PageSize])
+		off += PageSize
+	}
+	return nil
+}
+
+// SaveLen is the byte size of a full savestate image, exported for ring
+// sizing by the flight recorder.
+const SaveLen = saveLen

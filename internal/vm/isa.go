@@ -50,6 +50,18 @@ const (
 	AddrAudioF = 0xF004 // audio frequency index; 0 silences
 	AddrAudioV = 0xF005 // audio volume 0-255
 
+	// Fill blitter: a write to AddrBlitGo fills the W x H rectangle at
+	// (X, Y) in the framebuffer with color C, clipped to the screen. The
+	// fill costs 1 + (W*H)/16 extra instruction cycles (charged from the
+	// unclipped register values), so blits stay inside the deterministic
+	// cycle budget like everything else.
+	AddrBlitX  = 0xF008 // fill origin X (pixels)
+	AddrBlitY  = 0xF009 // fill origin Y (pixels)
+	AddrBlitW  = 0xF00A // fill width (pixels)
+	AddrBlitH  = 0xF00B // fill height (pixels)
+	AddrBlitC  = 0xF00C // fill color (raw byte, palette index)
+	AddrBlitGo = 0xF00D // write anything here to run the fill
+
 	// InitialSP is the reset value of R15; the stack grows down from just
 	// below VRAM.
 	InitialSP = VRAMBase

@@ -3,7 +3,7 @@ package vm
 import (
 	"encoding/binary"
 	"fmt"
-	"hash/fnv"
+	"math/bits"
 )
 
 // Machine state capture: hashing for cross-replica convergence checks and
@@ -27,39 +27,78 @@ const (
 	saveMagic   = "RKSV"
 	saveVersion = 1
 	saveLen     = 4 + 2 + 2 + 4 + 1 + 2 + 4 + 4 + NumRegs*4 + MemSize
+
+	// Field offsets within a savestate image, shared with the delta format
+	// (delta.go) so a delta can patch a full image in place.
+	savePCOff      = 6
+	saveFrameOff   = 8
+	saveFlagsOff   = 12
+	saveLFSROff    = 13
+	savePhaseOff   = 15
+	saveOverrunOff = 19
+	saveRegsOff    = 23
+	saveMemOff     = 23 + NumRegs*4
 )
 
-// StateHash returns a 64-bit FNV-1a digest of the complete machine state:
+// FNV-1a parameters, applied word-at-a-time (not byte-at-a-time, so the
+// digest differs from stock FNV — all consumers compare hashes for equality
+// only, never against an external reference).
+const (
+	hashOffset uint64 = 14695981039346656037
+	hashPrime  uint64 = 1099511628211
+)
+
+// pageDigest hashes one 256-byte page, eight bytes per fold.
+func pageDigest(p []byte) uint64 {
+	h := hashOffset
+	_ = p[PageSize-1]
+	for i := 0; i <= PageSize-8; i += 8 {
+		h = (h ^ binary.LittleEndian.Uint64(p[i:])) * hashPrime
+	}
+	return h
+}
+
+// StateHash returns a 64-bit digest of the complete machine state:
 // registers, PC, halt flag, memory (including VRAM and MMIO), the RNG and
 // the audio oscillator. Two replicas that stay logically consistent report
 // equal hashes after every frame (§3's convergence condition).
+//
+// The digest is incremental: a per-page hash cache is kept current via the
+// dirty-page bitmap, so a frame that mutated k pages recomputes k page
+// digests (k is single digits for a typical game frame) and then folds the
+// 256 cached digests with the small header fields.
 func (c *Console) StateHash() uint64 {
-	h := fnv.New64a()
-	var scratch [8]byte
+	c.drainDirty()
+	if c.hashDirty.Any() {
+		for wi, wv := range c.hashDirty {
+			for wv != 0 {
+				p := wi<<6 + bits.TrailingZeros64(wv)
+				wv &= wv - 1
+				c.pageHash[p] = pageDigest(c.mem[p<<pageShift : p<<pageShift+PageSize])
+			}
+		}
+		c.hashDirty.Clear()
+	}
+	h := hashOffset
 	for _, r := range c.regs {
-		binary.LittleEndian.PutUint32(scratch[:4], r)
-		h.Write(scratch[:4])
+		h = (h ^ uint64(r)) * hashPrime
 	}
-	binary.LittleEndian.PutUint16(scratch[:2], c.pc)
-	h.Write(scratch[:2])
-	binary.LittleEndian.PutUint32(scratch[:4], uint32(c.frame))
-	h.Write(scratch[:4])
+	h = (h ^ uint64(c.pc)) * hashPrime
+	h = (h ^ uint64(uint32(c.frame))) * hashPrime
+	var flags uint64
 	if c.halted {
-		h.Write([]byte{1})
-	} else {
-		h.Write([]byte{0})
+		flags |= 1
 	}
-	binary.LittleEndian.PutUint16(scratch[:2], c.lfsr)
-	h.Write(scratch[:2])
-	binary.LittleEndian.PutUint32(scratch[:4], c.audio.phase)
-	h.Write(scratch[:4])
 	if c.audio.oddTick {
-		h.Write([]byte{1})
-	} else {
-		h.Write([]byte{0})
+		flags |= 2
 	}
-	h.Write(c.mem[:])
-	return h.Sum64()
+	h = (h ^ flags) * hashPrime
+	h = (h ^ uint64(c.lfsr)) * hashPrime
+	h = (h ^ uint64(c.audio.phase)) * hashPrime
+	for _, ph := range c.pageHash {
+		h = (h ^ ph) * hashPrime
+	}
+	return h
 }
 
 // Save serializes the complete machine state.
@@ -72,7 +111,18 @@ func (c *Console) Save() []byte {
 // flight recorder's snapshot ring does) serializes the full state without
 // allocating: the image is a fixed saveLen bytes, so after the first call the
 // buffer never grows again.
+//
+// AppendSave does not interact with the delta-savestate chain; use
+// AppendSaveBase/AppendSaveDelta (delta.go) for that.
 func (c *Console) AppendSave(buf []byte) []byte {
+	buf = c.appendSaveHeader(buf)
+	buf = append(buf, c.mem[:]...)
+	return buf
+}
+
+// appendSaveHeader writes the non-memory fields shared by the full and delta
+// savestate formats (everything between magic and the memory payload).
+func (c *Console) appendSaveHeader(buf []byte) []byte {
 	buf = append(buf, saveMagic...)
 	buf = binary.LittleEndian.AppendUint16(buf, saveVersion)
 	buf = binary.LittleEndian.AppendUint16(buf, c.pc)
@@ -91,7 +141,6 @@ func (c *Console) AppendSave(buf []byte) []byte {
 	for _, r := range c.regs {
 		buf = binary.LittleEndian.AppendUint32(buf, r)
 	}
-	buf = append(buf, c.mem[:]...)
 	return buf
 }
 
@@ -106,7 +155,7 @@ func (c *Console) Restore(data []byte) error {
 	if v := binary.LittleEndian.Uint16(data[4:6]); v != saveVersion {
 		return fmt.Errorf("vm: savestate version %d unsupported (want %d)", v, saveVersion)
 	}
-	off := 6
+	off := savePCOff
 	c.pc = binary.LittleEndian.Uint16(data[off:])
 	off += 2
 	c.frame = int(binary.LittleEndian.Uint32(data[off:]))
@@ -126,5 +175,8 @@ func (c *Console) Restore(data []byte) error {
 		off += 4
 	}
 	copy(c.mem[:], data[off:])
+	// The entire address space may have changed: both incremental consumers
+	// (hash cache, delta chain) must resynchronize from scratch.
+	c.markAllDirty()
 	return nil
 }
