@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify verify-race chaos fuzz bench bench-all bench-hotpath bench-gate lint
+.PHONY: verify verify-race chaos relay-soak fuzz bench bench-all bench-hotpath bench-gate lint
 
 # Tier 1: the baseline gate — everything builds, every test passes
 # (including the default chaos soaks), then the race detector and the
@@ -23,10 +23,20 @@ chaos:
 	$(GO) test ./internal/chaos/ -run 'TestSoak' -count 1 \
 		-chaos.seeds $(CHAOS_SEEDS) -chaos.frames $(CHAOS_FRAMES) -v
 
+# The relayd hosting soak: RELAY_SESSIONS two-site sessions multiplexed
+# over a sharded virtual-time relay daemon while the phase controller
+# cycles clean → burst-loss → partition → heal (see
+# internal/relay/soak_test.go for the invariants it enforces).
+RELAY_SESSIONS ?= 10000
+relay-soak:
+	$(GO) test ./internal/relay/ -run 'TestRelaySoak' -count 1 \
+		-relay.sessions $(RELAY_SESSIONS) -v
+
 # Wire-format and toolchain fuzzers (coverage-guided; seeds always run
 # under `make verify`).
 FUZZTIME ?= 30s
 fuzz:
+	$(GO) test ./internal/lobby/ -fuzz FuzzLobbyParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core/ -fuzz FuzzDecodeSync -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core/ -fuzz FuzzDecodeSnapChunk -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/rom/ -fuzz FuzzDecodeROM -fuzztime $(FUZZTIME)
@@ -40,20 +50,20 @@ bench-hotpath:
 	$(GO) test -run NONE -bench 'SyncHotPath|SyncInputNoWait' -benchmem .
 
 # The tracked perf surface — the sync hot path, the full frame loop
-# (plain, traced, and with the flight recorder attached), and the
-# dirty-page savestate/digest paths — rendered into the machine-readable
-# $(BENCH_JSON) via cmd/benchjson. CI runs this and uploads the JSON as an
-# artifact.
-BENCH_JSON ?= BENCH_PR6.json
+# (plain, traced, and with the flight recorder attached), the dirty-page
+# savestate/digest paths, and the relayd packet path — rendered into the
+# machine-readable $(BENCH_JSON) via cmd/benchjson. CI runs this and
+# uploads the JSON as an artifact.
+BENCH_JSON ?= BENCH_PR7.json
 bench:
-	$(GO) test -run NONE -bench 'SyncHotPath|FrameLoop|SyncInputNoWait|StateHashIncremental|SavestateDelta' -benchmem . \
+	$(GO) test -run NONE -bench 'SyncHotPath|FrameLoop|SyncInputNoWait|StateHashIncremental|SavestateDelta|RelayDemux|RelayShardStep' -benchmem . \
 		| $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
 
 # Regression gate: rebuild the perf report and diff it against the
 # checked-in baseline with cmd/benchcmp. Fails on a >15% ns/op regression
 # or any allocs/op growth on a gated benchmark — and on a gated benchmark
 # disappearing from the fresh run.
-BENCH_BASELINE ?= BENCH_PR6.json
+BENCH_BASELINE ?= BENCH_PR7.json
 bench-gate:
 	$(MAKE) bench BENCH_JSON=BENCH_NEW.json
 	$(GO) run ./cmd/benchcmp $(BENCH_BASELINE) BENCH_NEW.json

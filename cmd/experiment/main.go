@@ -19,6 +19,7 @@
 //	experiment -series seeds                # seed-sensitivity spread
 //	experiment -series chaos                # deterministic fault-injection soak
 //	experiment -series soak                 # headless emulation frames/sec per game
+//	experiment -series relayload            # real-clock relayd hosting capacity (sessions/core)
 //	experiment -series all                  # everything
 //
 // -frames, -seed, -game and -procdelay override the defaults; -quick trims
@@ -137,6 +138,7 @@ func main() {
 	run("seeds", seedSensitivity)
 	run("chaos", chaosSeries)
 	run("soak", soak)
+	run("relayload", relayload)
 }
 
 var (

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"retrolock/internal/harness"
+	"retrolock/internal/obs"
+	"retrolock/internal/relay"
+)
+
+// relayload is the real-clock counterpart of the virtual-time relay soak:
+// it runs a relay daemon over loopback UDP sockets, drives a few hundred
+// concurrent sessions at frame cadence from generator sockets, and reports
+// what a deployment planner needs — sustained sessions per CPU core and the
+// p50/p99 relayed frame time — with every figure read back through the obs
+// registry, the same series a production relayd exports.
+func relayload(cfg harness.Config) error {
+	const (
+		nSessions = 512
+		nGens     = 8 // generator sockets; both sites of a session share one
+		tick      = 16667 * time.Microsecond
+		warmTicks = 30
+		runTicks  = 300 // ~5 s of measurement
+	)
+
+	front, err := relay.ListenUDPFront("127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("relayload: %w", err)
+	}
+	d, err := relay.NewDaemon(relay.Config{Shards: runtime.NumCPU(), SessionTTL: time.Hour}, []relay.Front{front})
+	if err != nil {
+		return err
+	}
+	d.Start()
+	defer d.Close()
+
+	reg := obs.NewRegistry()
+	relay.RegisterMetrics(reg, d)
+	frameTime := &obs.Histogram{}
+	reg.AddHistogram("retrolock_relayload_frame_ns", nil, "send-to-deliver time of relayed datagrams (ns)", frameTime)
+
+	type genSession struct {
+		tok  relay.Token
+		addr string
+	}
+	gens := make([][]genSession, nGens)
+	for i := 0; i < nSessions; i++ {
+		p, err := d.Place()
+		if err != nil {
+			return fmt.Errorf("relayload: place %d: %w", i, err)
+		}
+		g := i % nGens
+		gens[g] = append(gens[g], genSession{tok: p.Token, addr: p.Addr})
+	}
+
+	fmt.Println("== relayload: real-clock relay hosting capacity (loopback UDP) ==")
+	fmt.Printf("sessions %d, shards %d, fronts 1 (%s), tick %v\n",
+		nSessions, runtime.NumCPU(), map[bool]string{true: "mmsg-batched", false: "portable"}[front.Batched()], tick)
+
+	var (
+		sent, recvd    atomic.Int64
+		sendWg, recvWg sync.WaitGroup
+		stop           atomic.Bool
+	)
+	cpu0 := processCPU()
+	start := time.Now()
+	for g := 0; g < nGens; g++ {
+		g := g
+		sock, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			return err
+		}
+		defer sock.Close()
+		_ = sock.SetReadBuffer(4 << 20)
+		raddr, err := net.ResolveUDPAddr("udp", gens[g][0].addr)
+		if err != nil {
+			return err
+		}
+		sendWg.Add(1)
+		go func() {
+			defer sendWg.Done()
+			// Receiver: every delivered datagram carries its send timestamp;
+			// the delta is the relayed frame time.
+			recvWg.Add(1)
+			go func() {
+				defer recvWg.Done()
+				buf := make([]byte, relay.MaxDatagram)
+				for {
+					_ = sock.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+					n, err := sock.Read(buf)
+					if err != nil {
+						if stop.Load() {
+							return
+						}
+						continue
+					}
+					_, _, pl, ok := relay.ParseHeader(buf[:n])
+					if !ok || len(pl) < 8 {
+						continue
+					}
+					sentAt := int64(binary.BigEndian.Uint64(pl))
+					frameTime.Observe(time.Now().UnixNano() - sentAt)
+					recvd.Add(1)
+				}
+			}()
+			buf := make([]byte, relay.HeaderLen+16)
+			ticker := time.NewTicker(tick)
+			defer ticker.Stop()
+			for t := 0; t < warmTicks+runTicks && !stop.Load(); t++ {
+				now := time.Now().UnixNano()
+				for _, s := range gens[g] {
+					for site := 0; site < 2; site++ {
+						n := relay.PutHeader(buf, s.tok, site)
+						binary.BigEndian.PutUint64(buf[n:], uint64(now))
+						if _, err := sock.WriteToUDP(buf[:n+16], raddr); err == nil {
+							sent.Add(1)
+						}
+					}
+				}
+				<-ticker.C
+			}
+		}()
+	}
+	// Let the senders finish, give in-flight datagrams a beat to land,
+	// then release the receivers.
+	sendWg.Wait()
+	time.Sleep(100 * time.Millisecond)
+	elapsed := time.Since(start)
+	cpuUsed := processCPU() - cpu0
+	stop.Store(true)
+	recvWg.Wait()
+
+	// Report through the registry: the relayed frame-time histogram plus
+	// the daemon's own step-time series, exactly as /metrics would show.
+	p50 := time.Duration(frameTime.Quantile(0.5))
+	p99 := time.Duration(frameTime.Quantile(0.99))
+	stepP99 := time.Duration(d.StepTime.Quantile(0.99))
+	fmt.Printf("%-28s %12d\n", "datagrams sent", sent.Load())
+	fmt.Printf("%-28s %12d (%.1f%% delivered)\n", "datagrams relayed", recvd.Load(),
+		100*float64(recvd.Load())/float64(max64(sent.Load(), 1)))
+	fmt.Printf("%-28s %12v\n", "frame time p50", p50)
+	fmt.Printf("%-28s %12v\n", "frame time p99", p99)
+	fmt.Printf("%-28s %12v\n", "shard step p99", stepP99)
+	if cpuUsed > 0 {
+		cores := cpuUsed / elapsed.Seconds()
+		fmt.Printf("%-28s %12.2f\n", "cpu cores used", cores)
+		fmt.Printf("%-28s %12.0f\n", "sessions per core", float64(nSessions)/maxf(cores, 0.01))
+	}
+	if recvd.Load() == 0 {
+		return fmt.Errorf("relayload: nothing was relayed")
+	}
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

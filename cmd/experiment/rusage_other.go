@@ -1,0 +1,7 @@
+//go:build !(linux || darwin)
+
+package main
+
+// processCPU is unavailable on this platform; relayload reports wall-clock
+// based figures only.
+func processCPU() float64 { return 0 }

@@ -1,0 +1,18 @@
+//go:build linux || darwin
+
+package main
+
+import "syscall"
+
+// processCPU returns the process's cumulative user+system CPU seconds, the
+// denominator of the sessions-per-core figure.
+func processCPU() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	sec := func(tv syscall.Timeval) float64 {
+		return float64(tv.Sec) + float64(tv.Usec)/1e6
+	}
+	return sec(ru.Utime) + sec(ru.Stime)
+}

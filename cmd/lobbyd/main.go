@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"log"
+	"time"
 
 	"retrolock/internal/lobby"
 	"retrolock/internal/obs"
@@ -17,9 +18,16 @@ func main() {
 	log.SetPrefix("lobbyd: ")
 	listen := flag.String("listen", ":7200", "UDP address to serve on")
 	obsAddr := flag.String("obs", "", "serve metrics/expvar/pprof on this HTTP address (e.g. :6060)")
+	ttl := flag.Duration("ttl", 10*time.Minute, "idle session expiry")
+	sweep := flag.Duration("sweep", 30*time.Second, "expiry sweep cadence")
+	maxSessions := flag.Int("max-sessions", 65536, "bound on concurrently tracked sessions")
 	flag.Parse()
 
-	srv, err := lobby.Listen(*listen)
+	srv, err := lobby.ListenConfig(*listen, lobby.Config{
+		TTL:         *ttl,
+		SweepEvery:  *sweep,
+		MaxSessions: *maxSessions,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,139 @@
+// Command relayd hosts thousands of concurrent two-site sessions in one
+// process: an embedded lobby admits pairs and hands them a token plus a
+// relay front address; token-prefixed game datagrams are then demuxed onto
+// shared-nothing shard loops and forwarded between the two sites.
+//
+//	relayd -listen :7300 -lobby :7200 -shards 8 -obs :6060
+//
+// Clients rendezvous exactly as against lobbyd; the only difference is the
+// RELAY reply. See DESIGN.md ("relayd") for the shard model and README.md
+// for a two-client quickstart.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"retrolock/internal/lobby"
+	"retrolock/internal/obs"
+	"retrolock/internal/relay"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("relayd: ")
+	listen := flag.String("listen", ":7300", "base UDP address for relay fronts (port 0 = ephemeral; otherwise front i binds port+i)")
+	fronts := flag.Int("fronts", 1, "number of UDP sockets to spread shard traffic over")
+	lobbyAddr := flag.String("lobby", ":7200", "UDP address for the embedded admission lobby")
+	shards := flag.Int("shards", 8, "shared-nothing event loops")
+	maxSessions := flag.Int("max-sessions", 4096, "session budget per shard")
+	ttl := flag.Duration("ttl", 2*time.Minute, "idle session expiry (relay side)")
+	lobbyTTL := flag.Duration("lobby-ttl", 10*time.Minute, "idle session expiry (lobby side)")
+	advertise := flag.String("advertise", "", "front address to hand to clients (default: the bound address)")
+	obsAddr := flag.String("obs", "", "serve metrics/healthz/pprof on this HTTP address (e.g. :6060)")
+	flag.Parse()
+
+	fs, err := bindFronts(*listen, *fronts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := relay.NewDaemon(relay.Config{
+		Shards:      *shards,
+		MaxSessions: *maxSessions,
+		SessionTTL:  *ttl,
+	}, fs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.Start()
+	for _, f := range fs {
+		mode := "portable"
+		if uf, ok := f.(*relay.UDPFront); ok && uf.Batched() {
+			mode = "mmsg-batched"
+		}
+		log.Printf("front %s (%s)", f.LocalAddr(), mode)
+	}
+
+	srv, err := lobby.ListenConfig(*lobbyAddr, lobby.Config{
+		TTL:    *lobbyTTL,
+		Placer: relay.LobbyPlacer{D: d, Advertise: *advertise},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("admission lobby on %s (%d shards x %d sessions)", srv.Addr(), *shards, *maxSessions)
+
+	if *obsAddr != "" {
+		reg := obs.NewRegistry()
+		relay.RegisterMetrics(reg, d)
+		lobby.RegisterMetrics(reg, srv)
+		// Grade shard step pacing on the health engine: a relay whose event
+		// loops fall behind frame cadence is infeasible for every session
+		// it hosts.
+		health := obs.NewHealth(obs.HealthConfig{}, obs.HealthSources{FrameTime: d.StepTime})
+		health.Register(reg, 0)
+		go func() {
+			for range time.Tick(time.Second) {
+				health.Evaluate(time.Now())
+			}
+		}()
+		osrv, err := obs.Serve(*obsAddr, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer osrv.Close()
+		log.Printf("observability on http://%s/ (metrics, healthz, pprof)", osrv.Addr())
+	}
+
+	go func() {
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+		<-sigs
+		log.Print("shutting down")
+		_ = srv.Close()
+		d.Close()
+	}()
+	if err := srv.Serve(); err != nil {
+		log.Fatal(err)
+	}
+	d.Close()
+}
+
+// bindFronts opens n UDP sockets: with port 0 each is ephemeral, otherwise
+// front i binds port+i so deployments can open a contiguous range.
+func bindFronts(base string, n int) ([]relay.Front, error) {
+	if n < 1 {
+		n = 1
+	}
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return nil, fmt.Errorf("bad -listen %q: %w", base, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("bad -listen port %q: %w", portStr, err)
+	}
+	fs := make([]relay.Front, 0, n)
+	for i := 0; i < n; i++ {
+		p := port
+		if p != 0 {
+			p = port + i
+		}
+		f, err := relay.ListenUDPFront(net.JoinHostPort(host, strconv.Itoa(p)))
+		if err != nil {
+			for _, g := range fs {
+				_ = g.Close()
+			}
+			return nil, err
+		}
+		fs = append(fs, f)
+	}
+	return fs, nil
+}

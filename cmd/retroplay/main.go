@@ -33,6 +33,7 @@ import (
 	"retrolock/internal/flight"
 	"retrolock/internal/lobby"
 	"retrolock/internal/obs"
+	"retrolock/internal/relay"
 	"retrolock/internal/replay"
 	"retrolock/internal/rom"
 	"retrolock/internal/rom/games"
@@ -51,6 +52,7 @@ func main() {
 		listen   = flag.String("listen", ":7000", "local UDP address")
 		peer     = flag.String("peer", "", "remote site's UDP address")
 		lobbySrv = flag.String("lobby", "", "lobby server address for rendezvous (alternative to -peer)")
+		useRelay = flag.Bool("relay", false, "with -lobby: expect a relay-hosted placement (relayd) instead of a direct peer")
 		session  = flag.String("session", "retrolock", "session code when using -lobby")
 		frames   = flag.Int("frames", 3600, "frames to play (0 = until killed)")
 		input    = flag.String("input", "bot", "synthetic player: bot, random, idle")
@@ -90,7 +92,25 @@ func main() {
 
 	peerAddr := *peer
 	listenAddr := *listen
-	if *lobbySrv != "" {
+	var relayToken relay.Token
+	relayHosted := false
+	if *lobbySrv != "" && *useRelay {
+		// Admission path: the lobby places the session on a relay and
+		// answers with a token + front address. Game traffic is prefixed
+		// with the token and flows via the relay; the relay learns this
+		// socket's public address from the first datagram.
+		p, err := lobby.RendezvousPlaced(*lobbySrv, *session, *site, 30*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		relayToken, err = relay.ParseToken(p.Token)
+		if err != nil {
+			log.Fatalf("lobby handed a bad relay token %q: %v", p.Token, err)
+		}
+		peerAddr = p.Addr
+		relayHosted = true
+		log.Printf("placed on relay %s (session token %s)", p.Addr, p.Token)
+	} else if *lobbySrv != "" {
 		local, found, err := lobby.Rendezvous(*lobbySrv, *session, *site, 1-*site, 30*time.Second)
 		if err != nil {
 			log.Fatal(err)
@@ -107,6 +127,13 @@ func main() {
 		lst  *transport.UDPListener
 	)
 	switch {
+	case relayHosted:
+		// Relay sessions are strictly two-site; spectators would need their
+		// own placement, so the master does not demux this socket.
+		conn, err = transport.DialUDP(listenAddr, peerAddr)
+		if err == nil {
+			conn = relay.NewClientConn(conn, relayToken, *site)
+		}
 	case *useTCP:
 		conn, err = dialTCP(*site, listenAddr, peerAddr)
 	case *site == 0 && *accept:

@@ -1,0 +1,45 @@
+package lobby
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLobbyParse throws arbitrary bytes at the two parsers that face the
+// network: the server's JOIN parser and the client's reply parser. Neither
+// may panic, and anything they accept must obey the protocol invariants.
+func FuzzLobbyParse(f *testing.F) {
+	f.Add("JOIN abc 0")
+	f.Add("JOIN game42 63")
+	f.Add("PEER 1 127.0.0.1:9000")
+	f.Add("RELAY 00000000000000ff 10.0.0.1:7300")
+	f.Add("JOIN  two  spaces ")
+	f.Add("join lower 0")
+	f.Add("JOIN s -1")
+	f.Add("JOIN s 64")
+	f.Add("\x00\xff\xfe")
+	f.Add(strings.Repeat("A", 300))
+
+	f.Fuzz(func(t *testing.T, msg string) {
+		if code, site, ok := parseJoin(msg); ok {
+			if site < 0 || site > 63 {
+				t.Fatalf("parseJoin(%q) accepted site %d", msg, site)
+			}
+			if code == "" || strings.ContainsAny(code, " \t\n\r") {
+				t.Fatalf("parseJoin(%q) accepted code %q", msg, code)
+			}
+		}
+		if r, ok := parseReply(msg); ok {
+			if r.Relay {
+				if r.Token == "" {
+					t.Fatalf("parseReply(%q) accepted empty token", msg)
+				}
+			} else if r.Site < 0 || r.Site > 63 {
+				t.Fatalf("parseReply(%q) accepted site %d", msg, r.Site)
+			}
+			if r.Addr == "" || strings.ContainsAny(r.Addr, " \t\n\r") {
+				t.Fatalf("parseReply(%q) accepted addr %q", msg, r.Addr)
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package lobby
 
 import (
+	"fmt"
 	"net"
 	"strings"
 	"sync"
@@ -9,8 +10,12 @@ import (
 )
 
 func startServer(t *testing.T) *Server {
+	return startServerConfig(t, Config{})
+}
+
+func startServerConfig(t *testing.T, cfg Config) *Server {
 	t.Helper()
-	srv, err := Listen("127.0.0.1:0")
+	srv, err := ListenConfig("127.0.0.1:0", cfg)
 	if err != nil {
 		t.Skipf("udp unavailable: %v", err)
 	}
@@ -147,13 +152,12 @@ func TestThreeSiteSession(t *testing.T) {
 	}
 }
 
-func TestAbandonedSessionsExpire(t *testing.T) {
-	srv := startServer(t)
-	base := time.Now()
-	current := base
-	srv.mu.Lock()
-	srv.now = func() time.Time { return current }
-	srv.mu.Unlock()
+// TestIdleSessionsExpireWithoutTraffic is the regression test for the sweep
+// starvation bug: expiry used to run only inside the datagram handler, so a
+// lobby whose socket went quiet kept abandoned sessions forever. The ticker
+// sweep must collect them with no further traffic at all.
+func TestIdleSessionsExpireWithoutTraffic(t *testing.T) {
+	srv := startServerConfig(t, Config{TTL: 50 * time.Millisecond, SweepEvery: 10 * time.Millisecond})
 
 	conn, err := net.Dial("udp", srv.Addr())
 	if err != nil {
@@ -163,40 +167,292 @@ func TestAbandonedSessionsExpire(t *testing.T) {
 	if _, err := conn.Write([]byte("JOIN ghost 0")); err != nil {
 		t.Fatal(err)
 	}
-	waitSessions := func(want int) {
-		deadline := time.Now().Add(2 * time.Second)
-		for {
-			srv.mu.Lock()
-			n := len(srv.sessions)
-			srv.mu.Unlock()
-			if n == want {
-				return
-			}
-			if time.Now().After(deadline) {
-				t.Fatalf("sessions = %d, want %d", n, want)
-			}
-			time.Sleep(time.Millisecond)
-		}
-	}
-	waitSessions(1)
+	waitFor(t, 2*time.Second, func() bool { return srv.Stats().SessionsActive == 1 })
 
-	// Jump past the TTL; the next join of a different session sweeps it.
-	current = base.Add(sessionTTL + time.Minute)
-	if _, err := conn.Write([]byte("JOIN fresh 0")); err != nil {
+	// Total silence from here on. Only the clock-driven sweep can act.
+	waitFor(t, 2*time.Second, func() bool {
+		st := srv.Stats()
+		return st.SessionsActive == 0 && st.SessionsAged == 1
+	})
+}
+
+// TestSessionsCapBoundsMap: JOINs that would grow the map past MaxSessions
+// are counted and dropped, and space frees up once old entries expire.
+func TestSessionsCapBoundsMap(t *testing.T) {
+	srv := startServerConfig(t, Config{TTL: time.Hour, SweepEvery: time.Hour, MaxSessions: 3})
+
+	conn, err := net.Dial("udp", srv.Addr())
+	if err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		srv.mu.Lock()
-		_, ghost := srv.sessions["ghost"]
-		_, fresh := srv.sessions["fresh"]
-		srv.mu.Unlock()
-		if !ghost && fresh {
-			return // expired and replaced, as intended
+	defer conn.Close()
+	for i := 0; i < 8; i++ {
+		if _, err := conn.Write([]byte(fmt.Sprintf("JOIN flood-%d 0", i))); err != nil {
+			t.Fatal(err)
 		}
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		st := srv.Stats()
+		return st.SessionsActive == 3 && st.SessionsCapped == 5
+	})
+}
+
+func waitFor(t *testing.T, timeout time.Duration, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !ok() {
 		if time.Now().After(deadline) {
-			t.Fatalf("ghost=%v fresh=%v, want expired/present", ghost, fresh)
+			t.Fatalf("condition not reached within %v", timeout)
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// fakePlacer is a Placer test double recording every call.
+type fakePlacer struct {
+	mu       sync.Mutex
+	placings int
+	rebinds  []string // "token/site/addr"
+	released []string
+	full     bool
+}
+
+func (p *fakePlacer) Place() (Placement, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.full {
+		return Placement{}, fmt.Errorf("backend full")
+	}
+	p.placings++
+	return Placement{Token: fmt.Sprintf("%016x", p.placings), Addr: "127.0.0.1:9999"}, nil
+}
+
+func (p *fakePlacer) Rebind(token string, site int, addr net.Addr) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rebinds = append(p.rebinds, fmt.Sprintf("%s/%d/%s", token, site, addr))
+	return nil
+}
+
+func (p *fakePlacer) Release(token string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.released = append(p.released, token)
+	return nil
+}
+
+func TestRendezvousPlacedPairsTwoClients(t *testing.T) {
+	placer := &fakePlacer{}
+	srv := startServerConfig(t, Config{Placer: placer})
+
+	results := make([]Placement, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for site := 0; site < 2; site++ {
+		site := site
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[site], errs[site] = RendezvousPlaced(srv.Addr(), "hosted42", site, 5*time.Second)
+		}()
+	}
+	wg.Wait()
+	for site, err := range errs {
+		if err != nil {
+			t.Fatalf("site %d: %v", site, err)
+		}
+	}
+	if results[0] != results[1] {
+		t.Fatalf("sites got different placements: %+v vs %+v", results[0], results[1])
+	}
+	if results[0].Token == "" || results[0].Addr != "127.0.0.1:9999" {
+		t.Fatalf("bad placement %+v", results[0])
+	}
+	placer.mu.Lock()
+	defer placer.mu.Unlock()
+	if placer.placings != 1 {
+		t.Fatalf("Place called %d times for one session (retries must reuse the cached placement)", placer.placings)
+	}
+}
+
+// TestPlacedRebindRenotifiesBothSites is the regression test for the lobby
+// rebind-staleness bug: when a placed client re-JOINs from a new source
+// address (NAT rebinding, network change), the server must overwrite the
+// stored address, answer the *new* address with the same placement, and
+// re-notify the peer — a naive placement cache that replied only on first
+// placement, or replied to the stale stored address, left the moved client
+// deaf and the relay pointed at a dead return path.
+func TestPlacedRebindRenotifiesBothSites(t *testing.T) {
+	placer := &fakePlacer{}
+	srv := startServerConfig(t, Config{Placer: placer})
+
+	// Both sites join from stable sockets and get placed.
+	sock := func() *net.UDPConn {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = c.Close() })
+		return c
+	}
+	raddr, err := net.ResolveUDPAddr("udp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	join := func(c *net.UDPConn, site int) {
+		if _, err := c.WriteTo([]byte(fmt.Sprintf("JOIN rebind %d", site)), raddr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	awaitRelay := func(c *net.UDPConn) Placement {
+		t.Helper()
+		_ = c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		buf := make([]byte, 256)
+		for {
+			n, _, err := c.ReadFrom(buf)
+			if err != nil {
+				t.Fatalf("no RELAY reply: %v", err)
+			}
+			if r, ok := parseReply(strings.TrimSpace(string(buf[:n]))); ok && r.Relay {
+				return Placement{Token: r.Token, Addr: r.Addr}
+			}
+		}
+	}
+	s0, s1 := sock(), sock()
+	join(s0, 0)
+	join(s1, 1)
+	p0, p1 := awaitRelay(s0), awaitRelay(s1)
+	if p0 != p1 {
+		t.Fatalf("initial placements differ: %+v vs %+v", p0, p1)
+	}
+
+	// Site 0 "moves": a new socket (new source address) re-JOINs.
+	s0b := sock()
+	join(s0b, 0)
+
+	// The moved client must hear the same placement at its NEW address…
+	pMoved := awaitRelay(s0b)
+	if pMoved != p0 {
+		t.Fatalf("placement changed across rebind: %+v vs %+v", pMoved, p0)
+	}
+	// …the peer must be re-notified…
+	pPeer := awaitRelay(s1)
+	if pPeer != p0 {
+		t.Fatalf("peer re-notify placement mismatch: %+v vs %+v", pPeer, p0)
+	}
+	// …and the backend must have been told about the rebind.
+	want := fmt.Sprintf("%s/0/%s", p0.Token, s0b.LocalAddr())
+	waitFor(t, 2*time.Second, func() bool {
+		placer.mu.Lock()
+		defer placer.mu.Unlock()
+		for _, r := range placer.rebinds {
+			if r == want {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// TestPlacedSessionReleaseOnExpiry: when the sweep expires a hosted session,
+// the relay reservation is released.
+func TestPlacedSessionReleaseOnExpiry(t *testing.T) {
+	placer := &fakePlacer{}
+	srv := startServerConfig(t, Config{TTL: 50 * time.Millisecond, SweepEvery: 10 * time.Millisecond, Placer: placer})
+
+	results := make([]Placement, 2)
+	var wg sync.WaitGroup
+	for site := 0; site < 2; site++ {
+		site := site
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[site], _ = RendezvousPlaced(srv.Addr(), "shortlived", site, 5*time.Second)
+		}()
+	}
+	wg.Wait()
+	waitFor(t, 2*time.Second, func() bool {
+		placer.mu.Lock()
+		defer placer.mu.Unlock()
+		for _, tok := range placer.released {
+			if tok == results[0].Token {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// TestConcurrentJoinExpireStats hammers the server with >=1k interleaved
+// JOIN/expire/Stats cycles; run under -race it pins down the locking of the
+// handler, the ticker sweep, and the stats snapshot against each other.
+func TestConcurrentJoinExpireStats(t *testing.T) {
+	placer := &fakePlacer{}
+	srv := startServerConfig(t, Config{
+		TTL:         2 * time.Millisecond,
+		SweepEvery:  time.Millisecond,
+		MaxSessions: 64,
+		Placer:      placer,
+	})
+
+	const (
+		workers = 8
+		cycles  = 150 // 8*150 = 1200 interleaved JOIN cycles
+	)
+	var wg, statsWg sync.WaitGroup
+	stop := make(chan struct{})
+	// Stats readers race the handler and the sweeper until the joiners are
+	// done (their own WaitGroup — they only exit once stop closes).
+	for i := 0; i < 2; i++ {
+		statsWg.Add(1)
+		go func() {
+			defer statsWg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					st := srv.Stats()
+					if st.SessionsActive > 64 {
+						t.Errorf("sessions map exceeded cap: %d", st.SessionsActive)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// Joiners drive the handler directly (no UDP loss, deterministic count);
+	// sessions churn so the sweeper constantly expires behind them.
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := 0; c < cycles; c++ {
+				code := fmt.Sprintf("s%d-%d", w, c%40)
+				addr := &net.UDPAddr{IP: net.IPv4(10, 0, byte(w), byte(c)), Port: 1000 + c}
+				srv.handle(fmt.Sprintf("JOIN %s %d", code, c%2), addr)
+				if c%50 == 0 {
+					time.Sleep(time.Millisecond) // let the sweeper in
+				}
+			}
+		}()
+	}
+	// A real socket client in the mix exercises the reply path end to end.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = RendezvousPlaced(srv.Addr(), "s0-0", 1, 2*time.Second)
+	}()
+	wg.Wait()
+	close(stop)
+	statsWg.Wait()
+
+	st := srv.Stats()
+	if st.Joins < workers*cycles {
+		t.Fatalf("Joins = %d, want >= %d", st.Joins, workers*cycles)
+	}
+	if st.SessionsActive > 64 {
+		t.Fatalf("sessions map exceeded cap: %d", st.SessionsActive)
 	}
 }

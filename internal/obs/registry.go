@@ -134,6 +134,14 @@ func (r *Registry) NewCounter(name string, labels Labels, help string) *Counter 
 // NewHistogram registers and returns an owned Histogram.
 func (r *Registry) NewHistogram(name string, labels Labels, help string) *Histogram {
 	h := &Histogram{}
+	r.AddHistogram(name, labels, help, h)
+	return h
+}
+
+// AddHistogram registers an externally owned Histogram (e.g. one a component
+// must create before any registry exists, like the relay daemon's step-time
+// series).
+func (r *Registry) AddHistogram(name string, labels Labels, help string, h *Histogram) {
 	copied := make(Labels, len(labels))
 	for k, v := range labels {
 		copied[k] = v
@@ -147,7 +155,6 @@ func (r *Registry) NewHistogram(name string, labels Labels, help string) *Histog
 		}
 	}
 	r.hists = append(r.hists, hs)
-	return h
 }
 
 // AddTracer attaches a tracer to the registry so the HTTP trace endpoint can

@@ -1,0 +1,8 @@
+//go:build linux && amd64
+
+package relay
+
+// sendmmsg (kernel ≥3.0) postdates the stdlib syscall table freeze, so its
+// number is spelled here. recvmmsg (2.6.33) made the freeze and comes from
+// syscall.SYS_RECVMMSG.
+const sysSENDMMSG = 307

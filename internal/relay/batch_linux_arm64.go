@@ -1,0 +1,6 @@
+//go:build linux && arm64
+
+package relay
+
+// See batch_linux_amd64.go: sendmmsg postdates the syscall table freeze.
+const sysSENDMMSG = 269

@@ -1,0 +1,14 @@
+//go:build !(linux && (amd64 || arm64))
+
+package relay
+
+import "net"
+
+// batcher is unavailable off 64-bit Linux; UDPFront degrades to one
+// datagram per syscall behind the same Front interface.
+type batcher struct{}
+
+func newBatcher(*net.UDPConn) (*batcher, error) { return nil, nil }
+
+func (*batcher) recv([]Message) (int, error) { panic("relay: no batcher on this platform") }
+func (*batcher) send([]Message) (int, error) { panic("relay: no batcher on this platform") }

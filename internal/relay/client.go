@@ -1,0 +1,104 @@
+package relay
+
+import (
+	"fmt"
+	"time"
+
+	"retrolock/internal/transport"
+)
+
+// bindEvery is how often an unconfirmed ClientConn re-announces itself to
+// the relay with a header-only bind datagram (see Shard.ingest). It stays
+// well under lobby/relay TTLs and NAT mapping lifetimes while adding only a
+// few datagrams per second of handshake.
+const bindEvery = 250 * time.Millisecond
+
+// ClientConn adapts a relayed session to the transport.Conn contract the
+// sync module speaks: every Send is prefixed with the session token and the
+// local site number; every received datagram is validated (right token,
+// peer's site) and stripped. The inner conn is connected to the relay's
+// socket, so from core's point of view a relayed session is
+// indistinguishable from a direct one.
+//
+// The relay learns this socket's address from the first datagram it sees,
+// but protocol roles that listen before speaking (the handshake master
+// waits for READY) would otherwise never bind their slot — so the wrapper
+// sends a header-only bind datagram at construction and keeps re-sending it
+// from TryRecv until the first peer datagram proves the return path works.
+type ClientConn struct {
+	inner    transport.Conn
+	token    Token
+	site     int
+	scratch  []byte
+	bound    bool // a peer datagram arrived; our slot is confirmed bound
+	lastBind time.Time
+}
+
+// NewClientConn wraps inner (a conn whose remote end is the relay socket
+// from a lobby placement) for the given token and local site, and
+// immediately announces the socket to the relay.
+func NewClientConn(inner transport.Conn, token Token, site int) *ClientConn {
+	c := &ClientConn{
+		inner:   inner,
+		token:   token,
+		site:    site,
+		scratch: make([]byte, MaxDatagram),
+	}
+	c.bind()
+	return c
+}
+
+// bind sends a header-only datagram: the relay binds (or refreshes) our
+// slot and forwards nothing.
+func (c *ClientConn) bind() {
+	var hdr [HeaderLen]byte
+	PutHeader(hdr[:], c.token, c.site)
+	_ = c.inner.Send(hdr[:])
+	c.lastBind = time.Now()
+}
+
+// Send implements transport.Conn.
+func (c *ClientConn) Send(p []byte) error {
+	if len(p) > MaxPayload {
+		return fmt.Errorf("relay: datagram %d bytes exceeds relay budget %d", len(p), MaxPayload)
+	}
+	n := PutHeader(c.scratch, c.token, c.site)
+	n += copy(c.scratch[n:], p)
+	c.lastBind = time.Now() // any prefixed datagram binds the slot
+	return c.inner.Send(c.scratch[:n])
+}
+
+// TryRecv implements transport.Conn. Datagrams that are not the peer's
+// relayed traffic (wrong token or site — stray or hostile packets reaching
+// our socket) are discarded and the next one is polled, so the sync module
+// only ever sees clean peer datagrams.
+func (c *ClientConn) TryRecv() ([]byte, bool) {
+	if !c.bound && time.Since(c.lastBind) >= bindEvery {
+		c.bind()
+	}
+	for {
+		p, ok := c.inner.TryRecv()
+		if !ok {
+			return nil, false
+		}
+		tok, site, payload, ok := ParseHeader(p)
+		if !ok || tok != c.token || site != 1-c.site || len(payload) == 0 {
+			continue
+		}
+		c.bound = true
+		return payload, true
+	}
+}
+
+// Close implements transport.Conn.
+func (c *ClientConn) Close() error { return c.inner.Close() }
+
+// LocalAddr implements transport.Conn.
+func (c *ClientConn) LocalAddr() string { return c.inner.LocalAddr() }
+
+// RemoteAddr implements transport.Conn.
+func (c *ClientConn) RemoteAddr() string {
+	return fmt.Sprintf("relay(%s)/%s", c.inner.RemoteAddr(), c.token)
+}
+
+var _ transport.Conn = (*ClientConn)(nil)

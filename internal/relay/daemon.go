@@ -1,0 +1,335 @@
+package relay
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"retrolock/internal/obs"
+	"retrolock/internal/vclock"
+)
+
+// Config sizes one daemon. The zero value selects defaults fit for a laptop;
+// a production box raises Shards toward its core count and MaxSessions
+// toward its memory budget.
+type Config struct {
+	// Shards is the number of shared-nothing event loops (default 8,
+	// max MaxShards).
+	Shards int
+	// MaxSessions caps the sessions hosted per shard (default 4096);
+	// admission fails once every shard is full.
+	MaxSessions int
+	// QueueLen bounds each shard's inbound queue in datagrams (default
+	// 4096). Overflow drops with a count, like a kernel socket buffer.
+	QueueLen int
+	// WriteBatch is how many outbound datagrams a shard accumulates before
+	// flushing mid-step (default 64, the mmsg batch size).
+	WriteBatch int
+	// PendingSlots / PendingBytes bound each session's pending ring —
+	// datagrams parked for a site whose address is still unknown (defaults
+	// 8 slots, 16 KiB).
+	PendingSlots int
+	PendingBytes int
+	// SessionTTL expires sessions with no traffic (default 2 m); SweepEvery
+	// is the sweep cadence (default 10 s). Zero TTL disables expiry.
+	SessionTTL time.Duration
+	SweepEvery time.Duration
+	// PollInterval paces the virtual-mode reader/shard actors (default
+	// 200 µs of virtual time).
+	PollInterval time.Duration
+	// TickEvery is the real-mode fallback tick for sweeps (default 50 ms).
+	TickEvery time.Duration
+	// Clock defaults to vclock.System; virtual-time runs inject their
+	// vclock.Virtual (and start the daemon with StartVirtual).
+	Clock vclock.Clock
+	// Seed drives token salt generation (0 picks a fixed seed; tokens only
+	// need uniqueness, unguessability is best-effort without crypto).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Shards > MaxShards {
+		c.Shards = MaxShards
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 4096
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = 4096
+	}
+	if c.WriteBatch <= 0 {
+		c.WriteBatch = 64
+	}
+	if c.PendingSlots <= 0 {
+		c.PendingSlots = 8
+	}
+	if c.PendingBytes <= 0 {
+		c.PendingBytes = 16 * 1024
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 2 * time.Minute
+	}
+	if c.SweepEvery <= 0 {
+		c.SweepEvery = 10 * time.Second
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 200 * time.Microsecond
+	}
+	if c.TickEvery <= 0 {
+		c.TickEvery = 50 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.System
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x7e7a
+	}
+	return c
+}
+
+// ErrFull is returned by Place when every shard is at MaxSessions.
+var ErrFull = errors.New("relay: all shards at capacity")
+
+// Placement is an admission decision: the session's token and the socket
+// address its two sites must send their prefixed datagrams to.
+type Placement struct {
+	Token Token
+	Addr  string
+}
+
+// Daemon multiplexes hosted sessions over its fronts.
+type Daemon struct {
+	cfg    Config
+	fronts []Front
+	shards []*Shard
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	seq  uint32
+	next int // round-robin placement cursor
+
+	// Daemon-level reject counters: datagrams a reader could not even
+	// route to a shard.
+	rejRoute obs.Counter
+	rejRunt  obs.Counter
+
+	// StepTime aggregates real-mode shard step durations (ns) across all
+	// shards; nil outside real mode. It doubles as the daemon's health
+	// signal: an overloaded relay shows up as step-time inflation long
+	// before packets drop.
+	StepTime *obs.Histogram
+}
+
+// NewDaemon builds a daemon over the given fronts (at least one). Shard i
+// writes through front i mod len(fronts); readers route by token, so any
+// datagram reaching any front still finds its shard.
+func NewDaemon(cfg Config, fronts []Front) (*Daemon, error) {
+	if len(fronts) == 0 {
+		return nil, errors.New("relay: need at least one front")
+	}
+	cfg = cfg.withDefaults()
+	d := &Daemon{
+		cfg:      cfg,
+		fronts:   fronts,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		StepTime: &obs.Histogram{},
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		d.shards = append(d.shards, newShard(i, fronts[i%len(fronts)], cfg))
+	}
+	return d, nil
+}
+
+// Shards exposes the shard table (read-only) for metrics and tests.
+func (d *Daemon) Shards() []*Shard { return d.shards }
+
+// Sessions returns the daemon-wide live session count.
+func (d *Daemon) Sessions() int {
+	n := 0
+	for _, s := range d.shards {
+		n += s.Active()
+	}
+	return n
+}
+
+// Place admits one session: it picks the least-loaded shard (round-robin
+// tie-break), mints a token, registers the session on the shard's loop and
+// returns where its clients must send. ErrFull when every shard is at cap.
+func (d *Daemon) Place() (Placement, error) {
+	d.mu.Lock()
+	best := -1
+	bestActive := 0
+	for i := 0; i < len(d.shards); i++ {
+		s := d.shards[(d.next+i)%len(d.shards)]
+		if a := s.Active(); a < d.cfg.MaxSessions && (best < 0 || a < bestActive) {
+			best = (d.next + i) % len(d.shards)
+			bestActive = a
+		}
+	}
+	if best < 0 {
+		d.mu.Unlock()
+		return Placement{}, ErrFull
+	}
+	d.next = (best + 1) % len(d.shards)
+	d.seq++
+	tok := MakeToken(best, d.seq, d.rng.Uint32())
+	d.mu.Unlock()
+
+	sh := d.shards[best]
+	// Account immediately so concurrent Places see the slot taken before
+	// the shard loop applies the registration.
+	sh.active.Add(1)
+	sh.control(ctlOp{kind: ctlRegister, token: tok, site: -1})
+	return Placement{Token: tok, Addr: sh.Addr()}, nil
+}
+
+// Rebind moves one site's return path — the control-plane operation behind
+// a lobby re-JOIN after a NAT rebind. The data path itself never rebinds.
+func (d *Daemon) Rebind(tok Token, site int, addr Addr) {
+	if sh, ok := d.shardOf(tok); ok {
+		sh.control(ctlOp{kind: ctlRebind, token: tok, site: site, addr: addr})
+	}
+}
+
+// CloseSession releases a hosted session.
+func (d *Daemon) CloseSession(tok Token) {
+	if sh, ok := d.shardOf(tok); ok {
+		sh.control(ctlOp{kind: ctlClose, token: tok})
+	}
+}
+
+func (d *Daemon) shardOf(tok Token) (*Shard, bool) {
+	i := tok.ShardIndex()
+	if i >= len(d.shards) {
+		return nil, false
+	}
+	return d.shards[i], true
+}
+
+// Route disperses one received batch onto shard queues. Buffer ownership
+// transfers to the shard on push (the caller's slot is refilled from the
+// pool); on reject the buffer stays with the reader for reuse. Exported for
+// custom front integrations and the packet-path benchmarks.
+func (d *Daemon) Route(ms []Message, n int) {
+	for i := 0; i < n; i++ {
+		if len(ms[i].Buf) < HeaderLen {
+			d.rejRunt.Inc()
+			continue
+		}
+		tok, _, _, _ := ParseHeader(ms[i].Buf)
+		idx := tok.ShardIndex()
+		if idx >= len(d.shards) {
+			d.rejRoute.Inc()
+			continue
+		}
+		d.shards[idx].push(ms[i])
+		ms[i].Buf = getBuf() // replace the buffer we just handed over
+	}
+}
+
+// Start launches real-clock operation: one blocking batched reader per
+// front plus one doorbell-driven loop per shard.
+func (d *Daemon) Start() {
+	for _, f := range d.fronts {
+		f := f
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.readReal(f)
+		}()
+	}
+	for _, s := range d.shards {
+		s := s
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			s.runReal(&d.closed, d.StepTime)
+		}()
+	}
+}
+
+func (d *Daemon) readReal(f Front) {
+	ms := newBatch(d.cfg.WriteBatch)
+	for !d.closed.Load() {
+		n, err := f.Recv(ms)
+		if err != nil {
+			if d.closed.Load() {
+				return
+			}
+			// Transient (ICMP unreachable and friends): keep serving.
+			continue
+		}
+		d.Route(ms, n)
+	}
+}
+
+// StartVirtual launches the same topology as virtual-clock actors: readers
+// and shards poll their queues and park on the clock, so a CI soak drives
+// tens of thousands of sessions through real shard code in milliseconds of
+// wall time. The caller's Scenario must use the same clock.
+func (d *Daemon) StartVirtual(v *vclock.Virtual) {
+	for _, f := range d.fronts {
+		f := f
+		d.wg.Add(1)
+		v.Go(func() {
+			defer d.wg.Done()
+			ms := newBatch(d.cfg.WriteBatch)
+			for !d.closed.Load() {
+				n, err := f.Recv(ms)
+				if err == nil && n > 0 {
+					d.Route(ms, n)
+				}
+				v.Sleep(d.cfg.PollInterval)
+			}
+		})
+	}
+	for _, s := range d.shards {
+		s := s
+		d.wg.Add(1)
+		v.Go(func() {
+			defer d.wg.Done()
+			s.runVirtual(&d.closed)
+		})
+	}
+}
+
+// newBatch allocates a reader batch backed by pooled buffers.
+func newBatch(n int) []Message {
+	ms := make([]Message, n)
+	for i := range ms {
+		ms[i].Buf = getBuf()
+	}
+	return ms
+}
+
+// Close stops every loop and socket. Safe to call twice.
+func (d *Daemon) Close() error {
+	if d.closed.Swap(true) {
+		return nil
+	}
+	var first error
+	for _, f := range d.fronts {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, s := range d.shards {
+		s.ring()
+	}
+	d.wg.Wait()
+	return first
+}
+
+// String summarizes the daemon for logs.
+func (d *Daemon) String() string {
+	return fmt.Sprintf("relayd{%d shards, %d fronts, %d sessions}",
+		len(d.shards), len(d.fronts), d.Sessions())
+}

@@ -1,0 +1,106 @@
+package relay
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+)
+
+// UDPFront is a real UDP socket serving as one of the daemon's fronts. On
+// Linux (amd64/arm64) Recv and Send move whole batches per syscall with
+// recvmmsg/sendmmsg; elsewhere they fall back to one datagram per call
+// behind the same interface.
+//
+// Recv assumes a single reader goroutine (the daemon dedicates one per
+// socket); Send is safe from any number of shards.
+type UDPFront struct {
+	conn *net.UDPConn
+	b    *batcher // nil when the platform has no batched path
+}
+
+// ListenUDPFront binds a UDP socket on addr (e.g. "127.0.0.1:0").
+func ListenUDPFront(addr string) (*UDPFront, error) {
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("relay: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("relay: listen udp: %w", err)
+	}
+	// A front multiplexes thousands of sessions whose clients tick in near
+	// lockstep; default socket buffers drop whole bursts. Best effort — the
+	// kernel clamps to its rmem/wmem ceilings.
+	_ = conn.SetReadBuffer(4 << 20)
+	_ = conn.SetWriteBuffer(4 << 20)
+	f := &UDPFront{conn: conn}
+	f.b, err = newBatcher(conn)
+	if err != nil {
+		// No raw access (unusual); run on the portable path.
+		f.b = nil
+	}
+	return f, nil
+}
+
+// Recv implements Front: it blocks until at least one datagram arrives, then
+// returns as many as are immediately available, up to len(ms).
+func (f *UDPFront) Recv(ms []Message) (int, error) {
+	if len(ms) == 0 {
+		return 0, nil
+	}
+	if f.b != nil {
+		return f.b.recv(ms)
+	}
+	// Portable path: one blocking read per call.
+	buf := ms[0].Buf[:cap(ms[0].Buf)]
+	n, ap, err := f.conn.ReadFromUDPAddrPort(buf)
+	if err != nil {
+		return 0, err
+	}
+	ms[0].Buf = buf[:n]
+	ms[0].Addr = Addr{AP: netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())}
+	return 1, nil
+}
+
+// Send implements Front. Delivery is best-effort: per-datagram send errors
+// (unreachable, firewall) are dropped exactly like UDP loss.
+func (f *UDPFront) Send(ms []Message) (int, error) {
+	if len(ms) == 0 {
+		return 0, nil
+	}
+	if f.b != nil {
+		return f.b.send(ms)
+	}
+	sent := 0
+	for i := range ms {
+		if !ms[i].Addr.AP.IsValid() {
+			continue
+		}
+		if _, err := f.conn.WriteToUDPAddrPort(ms[i].Buf, ms[i].Addr.AP); err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return sent, err
+			}
+			continue
+		}
+		sent++
+	}
+	return sent, nil
+}
+
+// LocalAddr implements Front.
+func (f *UDPFront) LocalAddr() string { return f.conn.LocalAddr().String() }
+
+// AddrPort returns the bound address as netip.AddrPort.
+func (f *UDPFront) AddrPort() netip.AddrPort {
+	ua := f.conn.LocalAddr().(*net.UDPAddr)
+	return ua.AddrPort()
+}
+
+// Batched reports whether the mmsg fast path is active (for logs/metrics).
+func (f *UDPFront) Batched() bool { return f.b != nil }
+
+// Close implements Front.
+func (f *UDPFront) Close() error { return f.conn.Close() }
+
+var _ Front = (*UDPFront)(nil)

@@ -1,0 +1,75 @@
+package relay
+
+import (
+	"net"
+	"net/netip"
+
+	"retrolock/internal/lobby"
+)
+
+// LobbyPlacer adapts a Daemon to the lobby's admission interface: the lobby
+// reserves sessions here, forwards client rebinds, and releases expired
+// reservations. The lobby never sees relay internals (tokens cross as their
+// 16-hex-digit wire form) and the relay never parses lobby traffic.
+type LobbyPlacer struct {
+	D *Daemon
+	// Advertise overrides the front address handed to clients (e.g. the
+	// host's public address when the daemon binds a wildcard). Empty means
+	// the placed shard's own front address.
+	Advertise string
+}
+
+// Place implements lobby.Placer.
+func (p LobbyPlacer) Place() (lobby.Placement, error) {
+	pl, err := p.D.Place()
+	if err != nil {
+		return lobby.Placement{}, err
+	}
+	addr := pl.Addr
+	if p.Advertise != "" {
+		addr = p.Advertise
+	}
+	return lobby.Placement{Token: pl.Token.String(), Addr: addr}, nil
+}
+
+// Rebind implements lobby.Placer: a placed client re-announced from a new
+// address, so move the session's slot through the control plane (the data
+// path refuses to re-learn addresses — that is the spoofing guard).
+func (p LobbyPlacer) Rebind(token string, site int, addr net.Addr) error {
+	tok, err := ParseToken(token)
+	if err != nil {
+		return err
+	}
+	a, err := toAddr(addr)
+	if err != nil {
+		return err
+	}
+	p.D.Rebind(tok, site, a)
+	return nil
+}
+
+// Release implements lobby.Placer.
+func (p LobbyPlacer) Release(token string) error {
+	tok, err := ParseToken(token)
+	if err != nil {
+		return err
+	}
+	p.D.CloseSession(tok)
+	return nil
+}
+
+// toAddr converts a net.Addr (as the lobby's PacketConn reports sources)
+// into the relay's comparable address form.
+func toAddr(addr net.Addr) (Addr, error) {
+	if ua, ok := addr.(*net.UDPAddr); ok {
+		ap := ua.AddrPort()
+		return Addr{AP: netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())}, nil
+	}
+	ap, err := netip.ParseAddrPort(addr.String())
+	if err != nil {
+		return Addr{}, err
+	}
+	return Addr{AP: netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())}, nil
+}
+
+var _ lobby.Placer = LobbyPlacer{}

@@ -1,0 +1,351 @@
+package relay
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"retrolock/internal/obs"
+	"retrolock/internal/vclock"
+)
+
+// slot is one site's view of a hosted session: the transport address the
+// relay returns traffic to, bound by the first valid datagram (or by the
+// control plane) and never rebound from the data path.
+type slot struct {
+	addr  Addr
+	bound bool
+}
+
+// hosted is one relayed session, owned exclusively by its shard's loop.
+type hosted struct {
+	token    Token
+	slots    [2]slot
+	pending  [2]*pendingRing // datagrams addressed to a still-unbound site
+	lastSeen time.Time
+}
+
+// ctlKind enumerates control-plane operations applied between packet
+// batches, so the packet path itself never sees admission churn.
+type ctlKind uint8
+
+const (
+	ctlRegister ctlKind = iota
+	ctlRebind
+	ctlClose
+)
+
+type ctlOp struct {
+	kind  ctlKind
+	token Token
+	site  int
+	addr  Addr
+}
+
+// Shard is one shared-nothing event loop of the daemon. Readers push
+// datagrams into its bounded inbound queue under the shard's own lock;
+// everything else — the session table, pending rings, outbound batch — is
+// touched only by the shard goroutine. Nothing in the packet path takes a
+// lock owned by another shard.
+type Shard struct {
+	idx   int
+	out   Front
+	cfg   Config
+	clock vclock.Clock
+
+	mu   sync.Mutex
+	inq  []Message // bounded by cfg.QueueLen
+	ctl  []ctlOp
+	wake chan struct{} // real-mode doorbell, cap 1
+
+	// Loop-owned state (no locking).
+	sessions  map[Token]*hosted
+	inqSwap   []Message // Step's processing buffer, swapped with inq
+	outBatch  []Message
+	lastSweep time.Time
+
+	// Counters are atomics (obs.Counter) so obsadapt closures and tests can
+	// read them while the loop runs.
+	active          atomic.Int64
+	sessionsTotal   obs.Counter
+	sessionsExpired obs.Counter
+	sessionsClosed  obs.Counter
+	datagramsIn     obs.Counter
+	forwarded       obs.Counter
+	binds           obs.Counter
+	queuedPending   obs.Counter
+	rejRunt         obs.Counter
+	rejToken        obs.Counter
+	rejSite         obs.Counter
+	rejSpoof        obs.Counter
+	dropQueue       obs.Counter
+	dropPending     obs.Counter
+	queuePeak       atomic.Int64 // inbound-queue high-water mark
+}
+
+func newShard(idx int, out Front, cfg Config) *Shard {
+	return &Shard{
+		idx:      idx,
+		out:      out,
+		cfg:      cfg,
+		clock:    cfg.Clock,
+		wake:     make(chan struct{}, 1),
+		sessions: make(map[Token]*hosted),
+		inq:      make([]Message, 0, cfg.QueueLen),
+		inqSwap:  make([]Message, 0, cfg.QueueLen),
+		outBatch: make([]Message, 0, cfg.QueueLen),
+	}
+}
+
+// Active returns the shard's live session count.
+func (s *Shard) Active() int { return int(s.active.Load()) }
+
+// Addr is the socket address clients of this shard's sessions send to.
+func (s *Shard) Addr() string { return s.out.LocalAddr() }
+
+// push hands one datagram (ownership of m.Buf included) to the shard. It is
+// the only packet-path operation that crosses goroutines; overflow drops the
+// datagram with a count, like a socket buffer.
+func (s *Shard) push(m Message) {
+	s.mu.Lock()
+	if len(s.inq) >= s.cfg.QueueLen {
+		s.mu.Unlock()
+		s.dropQueue.Inc()
+		putBuf(m.Buf)
+		return
+	}
+	s.inq = append(s.inq, m)
+	if n := int64(len(s.inq)); n > s.queuePeak.Load() {
+		s.queuePeak.Store(n)
+	}
+	s.mu.Unlock()
+	s.ring()
+}
+
+// control enqueues a control-plane operation.
+func (s *Shard) control(op ctlOp) {
+	s.mu.Lock()
+	s.ctl = append(s.ctl, op)
+	s.mu.Unlock()
+	s.ring()
+}
+
+// ring taps the real-mode doorbell without blocking.
+func (s *Shard) ring() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Step drains the control queue and the inbound queue once, forwarding what
+// it can and flushing the outbound batch. It returns the number of inbound
+// datagrams processed. Step must only be called from the shard's loop (or a
+// test standing in for it).
+func (s *Shard) Step() int {
+	now := s.clock.Now()
+
+	s.mu.Lock()
+	s.inq, s.inqSwap = s.inqSwap[:0], s.inq
+	var ctl []ctlOp
+	if len(s.ctl) > 0 {
+		ctl = s.ctl
+		s.ctl = nil
+	}
+	s.mu.Unlock()
+
+	for _, op := range ctl {
+		s.applyCtl(op, now)
+	}
+	for i := range s.inqSwap {
+		s.ingest(&s.inqSwap[i], now)
+	}
+	n := len(s.inqSwap)
+	s.flush()
+	if s.cfg.SweepEvery > 0 && now.Sub(s.lastSweep) >= s.cfg.SweepEvery {
+		s.sweep(now)
+		s.lastSweep = now
+	}
+	return n
+}
+
+func (s *Shard) applyCtl(op ctlOp, now time.Time) {
+	switch op.kind {
+	case ctlRegister:
+		// Place already accounted the session in s.active (so admission
+		// sees the slot taken immediately); this only materializes it.
+		if _, ok := s.sessions[op.token]; ok {
+			s.active.Add(-1) // duplicate token: rebalance the pre-count
+			return
+		}
+		h := &hosted{token: op.token, lastSeen: now}
+		h.pending[0] = newPendingRing(s.cfg.PendingSlots, s.cfg.PendingBytes)
+		h.pending[1] = newPendingRing(s.cfg.PendingSlots, s.cfg.PendingBytes)
+		s.sessions[op.token] = h
+		s.sessionsTotal.Inc()
+	case ctlRebind:
+		h, ok := s.sessions[op.token]
+		if !ok || op.site < 0 || op.site > 1 || op.addr.IsZero() {
+			return
+		}
+		h.slots[op.site] = slot{addr: op.addr, bound: true}
+		h.lastSeen = now
+		// The site's return path moved: anything parked for it can fly now.
+		s.drainPending(h, op.site)
+	case ctlClose:
+		s.dropSession(op.token, &s.sessionsClosed)
+	}
+}
+
+// ingest is the per-datagram packet path: validate the prefix, bind or
+// verify the source slot, and forward to (or park for) the peer site.
+// The message's buffer is either moved to the outbound batch, copied into a
+// pending ring, or returned to the pool — never leaked.
+func (s *Shard) ingest(m *Message, now time.Time) {
+	s.datagramsIn.Inc()
+	token, site, payload, ok := ParseHeader(m.Buf)
+	if !ok {
+		s.rejRunt.Inc()
+		putBuf(m.Buf)
+		return
+	}
+	if site != 0 && site != 1 {
+		s.rejSite.Inc()
+		putBuf(m.Buf)
+		return
+	}
+	h, ok := s.sessions[token]
+	if !ok {
+		s.rejToken.Inc()
+		putBuf(m.Buf)
+		return
+	}
+	sl := &h.slots[site]
+	switch {
+	case !sl.bound:
+		// First valid datagram from this site claims the slot (this is how
+		// the relay learns NAT mappings without a handshake) ...
+		sl.addr = m.Addr
+		sl.bound = true
+		s.drainPending(h, site)
+	case sl.addr != m.Addr:
+		// ... but once bound, the data path must never rebind it: a valid
+		// token is visible to anyone on the path, and honoring a new source
+		// here would let a spoofer steal the session's return path
+		// mid-game. Rebinds are control-plane only (lobby re-JOIN).
+		s.rejSpoof.Inc()
+		putBuf(m.Buf)
+		return
+	}
+	h.lastSeen = now
+
+	if len(payload) == 0 {
+		// Header-only bind/keepalive (relay.ClientConn sends these until
+		// peer traffic confirms the path): the slot bind and lastSeen
+		// refresh above are its whole job. Roles that listen before they
+		// speak — the handshake master waits for READY — would otherwise
+		// never bind their slot and the peer's datagrams would park
+		// forever. Nothing is forwarded or parked.
+		s.binds.Inc()
+		putBuf(m.Buf)
+		return
+	}
+
+	dst := &h.slots[1-site]
+	if !dst.bound {
+		s.dropPending.Add(int64(h.pending[1-site].push(m.Buf)))
+		s.queuedPending.Inc()
+		putBuf(m.Buf)
+		return
+	}
+	m.Addr = dst.addr
+	s.outBatch = append(s.outBatch, *m)
+	s.forwarded.Inc()
+	if len(s.outBatch) >= s.cfg.WriteBatch {
+		s.flush()
+	}
+}
+
+// drainPending flushes datagrams parked for site into the outbound batch.
+func (s *Shard) drainPending(h *hosted, site int) {
+	dst := h.slots[site].addr
+	h.pending[site].drain(func(p []byte) {
+		buf := getBuf()
+		buf = append(buf[:0], p...)
+		s.outBatch = append(s.outBatch, Message{Buf: buf, Addr: dst})
+		s.forwarded.Inc()
+	})
+}
+
+// flush writes the outbound batch through the shard's front and returns the
+// buffers to the pool.
+func (s *Shard) flush() {
+	if len(s.outBatch) == 0 {
+		return
+	}
+	_, _ = s.out.Send(s.outBatch)
+	for i := range s.outBatch {
+		putBuf(s.outBatch[i].Buf)
+		s.outBatch[i] = Message{}
+	}
+	s.outBatch = s.outBatch[:0]
+}
+
+// sweep expires sessions idle past the TTL, bounding the table against
+// abandoned placements exactly like the lobby's sweep.
+func (s *Shard) sweep(now time.Time) {
+	if s.cfg.SessionTTL <= 0 {
+		return
+	}
+	for tok, h := range s.sessions {
+		if now.Sub(h.lastSeen) > s.cfg.SessionTTL {
+			s.dropSession(tok, &s.sessionsExpired)
+		}
+	}
+}
+
+func (s *Shard) dropSession(tok Token, counter *obs.Counter) {
+	h, ok := s.sessions[tok]
+	if !ok {
+		return
+	}
+	h.pending[0].free()
+	h.pending[1].free()
+	delete(s.sessions, tok)
+	s.active.Add(-1)
+	counter.Inc()
+}
+
+// runReal is the shard loop for real-clock operation: doorbell-driven with a
+// periodic tick for sweeps and stragglers.
+func (s *Shard) runReal(closed *atomic.Bool, step *obs.Histogram) {
+	tick := time.NewTicker(s.cfg.TickEvery)
+	defer tick.Stop()
+	for !closed.Load() {
+		select {
+		case <-s.wake:
+		case <-tick.C:
+		}
+		for {
+			t0 := time.Now()
+			n := s.Step()
+			if step != nil {
+				step.Observe(time.Since(t0).Nanoseconds())
+			}
+			if n == 0 {
+				break
+			}
+		}
+	}
+	s.flush()
+}
+
+// runVirtual is the shard loop as a virtual-clock actor: poll, step, park.
+func (s *Shard) runVirtual(closed *atomic.Bool) {
+	for !closed.Load() {
+		s.Step()
+		s.clock.(interface{ Sleep(time.Duration) }).Sleep(s.cfg.PollInterval)
+	}
+	s.Step()
+	s.flush()
+}

@@ -1,0 +1,332 @@
+package relay
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"retrolock/internal/netem"
+	"retrolock/internal/simnet"
+	"retrolock/internal/vclock"
+)
+
+// The soak drives thousands of concurrent sessions through one daemon's
+// real shard code under the virtual clock, with chaos phases (burst loss,
+// partition, heal) on half the client population. `go test` runs a
+// CI-sized default; `make relay-soak` raises -relay.sessions to 10000.
+var (
+	soakSessions = flag.Int("relay.sessions", 1024, "concurrent sessions in the relay soak")
+	soakDrivers  = flag.Int("relay.drivers", 16, "driver actors multiplexing the soak sessions")
+	soakShards   = flag.Int("relay.shards", 16, "relay shards in the soak")
+	soakFronts   = flag.Int("relay.fronts", 4, "relay fronts in the soak")
+	soakTick     = flag.Duration("relay.tick", 50*time.Millisecond, "virtual send cadence per site")
+	soakSeed     = flag.Int64("relay.seed", 1, "soak PRNG seed (phases derive sub-seeds)")
+)
+
+// soakEpoch anchors the soak's virtual clock (same convention as chaos).
+var soakEpoch = time.Date(2009, 6, 22, 0, 0, 0, 0, time.UTC)
+
+// soakSession is one hosted pair owned by a driver. Counters are atomics:
+// drivers increment them, the phase controller snapshots them.
+type soakSession struct {
+	token  Token
+	driver int
+	sent   [2]atomic.Int64 // per site
+	recv   [2]atomic.Int64 // datagrams delivered TO site (0/1)
+}
+
+func TestRelaySoak10kSessionsUnderChaos(t *testing.T) {
+	nSessions := *soakSessions
+	nDrivers := *soakDrivers
+	if nDrivers > nSessions {
+		nDrivers = nSessions
+	}
+	v := vclock.NewVirtual(soakEpoch)
+	net := simnet.New(v)
+
+	// Relay fronts: simnet endpoints with queues deep enough to absorb a
+	// whole synchronized send burst (every session ticks at the same
+	// virtual cadence, staggered per driver).
+	fronts := make([]Front, *soakFronts)
+	frontAddrs := make([]string, *soakFronts)
+	for i := range fronts {
+		ep := net.MustBind(fmt.Sprintf("relay-%d", i))
+		ep.SetQueueCap(1 << 16)
+		fronts[i] = NewSimFront(ep)
+		frontAddrs[i] = ep.Addr()
+	}
+	d, err := NewDaemon(Config{
+		Shards:      *soakShards,
+		MaxSessions: (nSessions / *soakShards) + *soakShards,
+		QueueLen:    1 << 14,
+		WriteBatch:  256,
+		SessionTTL:  time.Hour, // the soak asserts zero expiry churn
+		Clock:       v,
+		Seed:        *soakSeed,
+	}, fronts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Admission: place every session up front (the lobby admission flow has
+	// its own tests; the soak targets the packet path at scale).
+	sessions := make([]*soakSession, nSessions)
+	byToken := make(map[Token]int, nSessions)
+	for i := range sessions {
+		p, err := d.Place()
+		if err != nil {
+			t.Fatalf("Place %d: %v", i, err)
+		}
+		sessions[i] = &soakSession{token: p.Token, driver: i % nDrivers}
+		byToken[p.Token] = i
+	}
+	if got := d.Sessions(); got != nSessions {
+		t.Fatalf("placed %d sessions, daemon accounts %d", nSessions, got)
+	}
+
+	// Drivers: driver j speaks for site 0 of its sessions from endpoint
+	// drvA-j and site 1 from drvB-j, so every forwarded datagram crosses
+	// emulated links both ways. The first half of the drivers is the chaos
+	// group; the second half keeps clean links throughout.
+	type driver struct {
+		idx      int
+		epA, epB *simnet.Endpoint
+		own      []*soakSession
+	}
+	drivers := make([]*driver, nDrivers)
+	for j := range drivers {
+		epA := net.MustBind(fmt.Sprintf("drvA-%d", j))
+		epB := net.MustBind(fmt.Sprintf("drvB-%d", j))
+		epA.SetQueueCap(1 << 14)
+		epB.SetQueueCap(1 << 14)
+		drivers[j] = &driver{idx: j, epA: epA, epB: epB}
+	}
+	for _, s := range sessions {
+		dr := drivers[s.driver]
+		dr.own = append(dr.own, s)
+	}
+	chaosDrivers := nDrivers / 2 // drivers [0, chaosDrivers) get faults
+
+	var (
+		stop          atomic.Bool
+		leakErrs      atomic.Int64 // token not owned by the receiving driver
+		integrityErrs atomic.Int64 // payload does not match its prefix
+		miswiredErrs  atomic.Int64 // site-0 traffic on a site-0 endpoint etc.
+	)
+	frontOf := func(s *soakSession) string {
+		return frontAddrs[s.token.ShardIndex()%len(frontAddrs)]
+	}
+
+	runDriver := func(dr *driver) {
+		// Stagger drivers across the tick so the send burst is spread.
+		v.Sleep(time.Duration(dr.idx+1) * *soakTick / time.Duration(nDrivers+1))
+		buf := make([]byte, HeaderLen+13)
+		seq := uint32(0)
+		own := make(map[Token]*soakSession, len(dr.own))
+		for _, s := range dr.own {
+			own[s.token] = s
+		}
+		drain := func(ep *simnet.Endpoint, site int) {
+			for {
+				g, ok := ep.TryRecv()
+				if !ok {
+					return
+				}
+				tok, fromSite, pl, ok := ParseHeader(g.Payload)
+				if !ok {
+					integrityErrs.Add(1)
+					continue
+				}
+				s, mine := own[tok]
+				if !mine {
+					leakErrs.Add(1)
+					continue
+				}
+				if fromSite != 1-site {
+					miswiredErrs.Add(1)
+					continue
+				}
+				if len(pl) != 13 || Token(binary.BigEndian.Uint64(pl)) != tok || int(pl[12]) != fromSite {
+					integrityErrs.Add(1)
+					continue
+				}
+				s.recv[site].Add(1)
+			}
+		}
+		for !stop.Load() {
+			seq++
+			for _, s := range dr.own {
+				for site := 0; site < 2; site++ {
+					n := PutHeader(buf, s.token, site)
+					binary.BigEndian.PutUint64(buf[n:], uint64(s.token))
+					binary.BigEndian.PutUint32(buf[n+8:], seq)
+					buf[n+12] = byte(site)
+					ep := dr.epA
+					if site == 1 {
+						ep = dr.epB
+					}
+					// Lost sends (partitions) are fine; a closed network is not
+					// expected while the soak runs.
+					_ = ep.SendTo(frontOf(s), buf[:n+13])
+					s.sent[site].Add(1)
+				}
+			}
+			drain(dr.epA, 0)
+			drain(dr.epB, 1)
+			v.Sleep(*soakTick)
+		}
+	}
+
+	// Phase controller: reshapes the chaos group's links on a schedule and
+	// snapshots per-session delivery counts around the windows it asserts.
+	type snapshot []int64
+	takeSnap := func() snapshot {
+		sn := make(snapshot, nSessions)
+		for i, s := range sessions {
+			sn[i] = s.recv[0].Load() + s.recv[1].Load()
+		}
+		return sn
+	}
+	setChaosLinks := func(shape func(j int) simnet.Shaper) {
+		for j := 0; j < chaosDrivers; j++ {
+			sh := shape(j)
+			for _, fa := range frontAddrs {
+				net.SetLinkBoth(fmt.Sprintf("drvA-%d", j), fa, sh)
+				net.SetLinkBoth(fmt.Sprintf("drvB-%d", j), fa, sh)
+			}
+		}
+	}
+	var warmupSnap, healStart, healEnd snapshot
+	phases := []struct {
+		name string
+		dur  time.Duration
+	}{
+		{"warmup", time.Second},
+		{"burst-loss", time.Second},
+		{"partition", time.Second},
+		{"heal", 2 * time.Second},
+	}
+	controller := v.Go(func() {
+		for _, ph := range phases {
+			switch ph.name {
+			case "warmup", "heal":
+				setChaosLinks(func(int) simnet.Shaper { return nil }) // clean
+			case "burst-loss":
+				setChaosLinks(func(j int) simnet.Shaper {
+					return netem.New(netem.Config{
+						Delay: 5 * time.Millisecond, Jitter: 2 * time.Millisecond,
+						Loss: 0.3, BurstLoss: true, Seed: *soakSeed + int64(j),
+					})
+				})
+			case "partition":
+				setChaosLinks(func(j int) simnet.Shaper {
+					return netem.New(netem.Config{Loss: 1, Seed: *soakSeed + int64(j)})
+				})
+			}
+			switch ph.name {
+			case "heal":
+				healStart = takeSnap()
+			}
+			v.Sleep(ph.dur)
+			switch ph.name {
+			case "warmup":
+				warmupSnap = takeSnap()
+			case "heal":
+				healEnd = takeSnap()
+			}
+		}
+		stop.Store(true)
+	})
+
+	d.StartVirtual(v)
+	dones := make([]<-chan struct{}, 0, nDrivers)
+	for _, dr := range drivers {
+		dr := dr
+		dones = append(dones, v.Go(func() { runDriver(dr) }))
+	}
+	<-controller
+	for _, done := range dones {
+		<-done
+	}
+	_ = d.Close()
+
+	// --- Invariant suite -------------------------------------------------
+
+	// 1. Session isolation: no driver ever received a token it does not
+	// own, every payload matched its prefix, and traffic arrived on the
+	// correct side's endpoint.
+	if n := leakErrs.Load(); n != 0 {
+		t.Errorf("cross-session leakage: %d datagrams at foreign drivers", n)
+	}
+	if n := integrityErrs.Load(); n != 0 {
+		t.Errorf("payload integrity: %d corrupted/mismatched datagrams", n)
+	}
+	if n := miswiredErrs.Load(); n != 0 {
+		t.Errorf("miswired delivery: %d datagrams on the wrong site endpoint", n)
+	}
+
+	// 2. Liveness. Warmup (all links clean): every session made progress.
+	// Heal (links restored): every session — including the partitioned
+	// half — resumed and progressed through the whole window.
+	stuckWarm, stuckHeal := 0, 0
+	for i := range sessions {
+		if warmupSnap[i] == 0 {
+			stuckWarm++
+		}
+		if healEnd[i]-healStart[i] <= 0 {
+			stuckHeal++
+		}
+	}
+	if stuckWarm > 0 {
+		t.Errorf("liveness: %d/%d sessions silent through the clean warmup", stuckWarm, nSessions)
+	}
+	if stuckHeal > 0 {
+		t.Errorf("liveness: %d/%d sessions did not resume after the partition healed", stuckHeal, nSessions)
+	}
+
+	// 3. Bounded memory and counter consistency per shard.
+	var totalIn, totalFwd, totalDropQ int64
+	for i, sh := range d.Shards() {
+		in := sh.datagramsIn.Value()
+		fwd := sh.forwarded.Value()
+		parked := sh.queuedPending.Value()
+		rejects := sh.rejRunt.Value() + sh.rejSite.Value() + sh.rejToken.Value() + sh.rejSpoof.Value()
+		totalIn += in
+		totalFwd += fwd
+		totalDropQ += sh.QueueDropped()
+		if rejects != 0 {
+			t.Errorf("shard %d: %d rejected datagrams in an all-valid soak (runt=%d site=%d token=%d spoof=%d)",
+				i, rejects, sh.rejRunt.Value(), sh.rejSite.Value(), sh.rejToken.Value(), sh.rejSpoof.Value())
+		}
+		if peak := sh.QueuePeak(); peak > int64(d.cfg.QueueLen) {
+			t.Errorf("shard %d: inbound queue peak %d exceeded bound %d", i, peak, d.cfg.QueueLen)
+		}
+		// Every ingested datagram was rejected, parked, or forwarded
+		// directly; pending drains add forwards beyond that, but never more
+		// than were parked.
+		direct := in - rejects - parked
+		if drained := fwd - direct; drained < 0 || drained > parked {
+			t.Errorf("shard %d: counters inconsistent: in=%d fwd=%d parked=%d rejects=%d", i, in, fwd, parked, rejects)
+		}
+		if sh.sessionsTotal.Value() != int64(sh.Active()) ||
+			sh.sessionsExpired.Value() != 0 || sh.sessionsClosed.Value() != 0 {
+			t.Errorf("shard %d: session churn in a churn-free soak: total=%d active=%d expired=%d closed=%d",
+				i, sh.sessionsTotal.Value(), sh.Active(), sh.sessionsExpired.Value(), sh.sessionsClosed.Value())
+		}
+	}
+	if got := d.Sessions(); got != nSessions {
+		t.Errorf("daemon sessions = %d after soak, want %d", got, nSessions)
+	}
+	var sent int64
+	for _, s := range sessions {
+		sent += s.sent[0].Load() + s.sent[1].Load()
+	}
+	t.Logf("soak: %d sessions, %d drivers, %d shards: sent=%d relayed-in=%d forwarded=%d queue-drops=%d virtual=%v",
+		nSessions, nDrivers, *soakShards, sent, totalIn, totalFwd, totalDropQ, v.Elapsed())
+	if totalFwd == 0 {
+		t.Fatal("soak forwarded nothing")
+	}
+}

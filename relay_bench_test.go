@@ -1,0 +1,134 @@
+// Benchmarks for the relayd packet path, gated by benchcmp alongside the
+// sync hot path: Route (token demux onto shard queues) and Shard.Step (the
+// per-shard forward/flush cycle). Both report per-datagram cost and are
+// expected to stay allocation-free in steady state — buffers recycle through
+// the relay's pool, so a regression here shows up as allocs/op before it
+// shows up as p99 frame time in production.
+package retrolock_test
+
+import (
+	"fmt"
+	"testing"
+
+	"retrolock/internal/relay"
+)
+
+// nullFront is a Front that discards sends; the benchmarks never Start the
+// daemon, so Recv is never called.
+type nullFront struct{}
+
+func (nullFront) Recv(ms []relay.Message) (int, error) { select {} }
+func (nullFront) Send(ms []relay.Message) (int, error) { return len(ms), nil }
+func (nullFront) LocalAddr() string                    { return "null:0" }
+func (nullFront) Close() error                         { return nil }
+
+// benchRelayDaemon builds an unstarted daemon with nSessions placed and both
+// site slots bound, returning the tokens and per-session site addresses.
+// Stepping is done manually by the benchmark loop, standing in for the shard
+// loops.
+func benchRelayDaemon(b *testing.B, shards, nSessions int) (*relay.Daemon, []relay.Token, [][2]relay.Addr) {
+	b.Helper()
+	d, err := relay.NewDaemon(relay.Config{Shards: shards, MaxSessions: nSessions}, []relay.Front{nullFront{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	toks := make([]relay.Token, nSessions)
+	addrs := make([][2]relay.Addr, nSessions)
+	for i := range toks {
+		p, err := d.Place()
+		if err != nil {
+			b.Fatal(err)
+		}
+		toks[i] = p.Token
+		addrs[i] = [2]relay.Addr{
+			{Sim: fmt.Sprintf("A-%d", i)},
+			{Sim: fmt.Sprintf("B-%d", i)},
+		}
+	}
+	// Bind both slots of every session by routing one datagram per site from
+	// its home address, exactly how a production relay learns NAT mappings.
+	ms := make([]relay.Message, 1)
+	for i, tok := range toks {
+		for site := 0; site < 2; site++ {
+			buf := make([]byte, relay.MaxDatagram)
+			n := relay.PutHeader(buf, tok, site)
+			ms[0] = relay.Message{Buf: buf[:n], Addr: addrs[i][site]}
+			d.Route(ms, 1)
+		}
+	}
+	for _, sh := range d.Shards() {
+		sh.Step()
+	}
+	for _, sh := range d.Shards() {
+		if sh.Active() == 0 && nSessions >= shards {
+			b.Fatalf("shard %s has no sessions after setup", sh.Addr())
+		}
+	}
+	return d, toks, addrs
+}
+
+// benchRelayBatch pre-sizes a reusable receive batch. Route refills each
+// handed-over slot from the buffer pool, so after the first pass every
+// buffer in flight is pool-recycled and the loop allocates nothing.
+func benchRelayBatch(batch int) []relay.Message {
+	ms := make([]relay.Message, batch)
+	for i := range ms {
+		ms[i].Buf = make([]byte, relay.MaxDatagram)
+	}
+	return ms
+}
+
+// stampRelayBatch rewrites headers and payload for one receive batch,
+// cycling datagrams across sessions and sites like interleaved client
+// traffic.
+func stampRelayBatch(ms []relay.Message, toks []relay.Token, addrs [][2]relay.Addr, round int) {
+	const payload = 24 // typical input-sync datagram body
+	for i := range ms {
+		k := (round*len(ms) + i) % (2 * len(toks))
+		tok, site := toks[k/2], k%2
+		buf := ms[i].Buf[:relay.MaxDatagram]
+		n := relay.PutHeader(buf, tok, site)
+		ms[i].Buf = buf[:n+payload]
+		ms[i].Addr = addrs[k/2][site]
+	}
+}
+
+// BenchmarkRelayDemux measures the full reader-side packet path per
+// datagram: Route's token demux across 8 shards plus each shard's
+// Step (ingest, forward, flush). This is the figure the sessions-per-core
+// capacity claim rests on.
+func BenchmarkRelayDemux(b *testing.B) {
+	const batch = 64
+	d, toks, addrs := benchRelayDaemon(b, 8, 256)
+	defer d.Close()
+	ms := benchRelayBatch(batch)
+	shards := d.Shards()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n, round := 0, 0; n < b.N; n, round = n+batch, round+1 {
+		stampRelayBatch(ms, toks, addrs, round)
+		d.Route(ms, batch)
+		for _, sh := range shards {
+			sh.Step()
+		}
+	}
+}
+
+// BenchmarkRelayShardStep isolates one shard's Step over a pre-filled
+// 64-datagram queue — the event-loop body without the demux in front of it.
+func BenchmarkRelayShardStep(b *testing.B) {
+	const batch = 64
+	d, toks, addrs := benchRelayDaemon(b, 1, 64)
+	defer d.Close()
+	ms := benchRelayBatch(batch)
+	sh := d.Shards()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n, round := 0, 0; n < b.N; n, round = n+batch, round+1 {
+		b.StopTimer()
+		stampRelayBatch(ms, toks, addrs, round)
+		d.Route(ms, batch)
+		b.StartTimer()
+		sh.Step()
+	}
+}
