@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify verify-race chaos relay-soak fuzz bench bench-all bench-hotpath bench-gate lint
+.PHONY: verify verify-race chaos relay-soak fuzz bench bench-all bench-hotpath bench-gate qoe lint
 
 # Tier 1: the baseline gate — everything builds, every test passes
 # (including the default chaos soaks), then the race detector and the
@@ -43,6 +43,7 @@ fuzz:
 	$(GO) test ./internal/rom/games/ -fuzz FuzzAssemble -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/flight/ -fuzz FuzzDecodeBundle -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/span/ -fuzz FuzzDecodeSpan -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/capture/ -fuzz FuzzDecodeCapture -fuzztime $(FUZZTIME)
 
 # The steady-state sync loop with allocs/op; BenchmarkSyncHotPath must
 # report 0 allocs/op (also enforced by TestSyncHotPathDoesNotAllocate).
@@ -54,7 +55,7 @@ bench-hotpath:
 # savestate/digest paths, and the relayd packet path — rendered into the
 # machine-readable $(BENCH_JSON) via cmd/benchjson. CI runs this and
 # uploads the JSON as an artifact.
-BENCH_JSON ?= BENCH_PR7.json
+BENCH_JSON ?= BENCH_PR8.json
 bench:
 	$(GO) test -run NONE -bench 'SyncHotPath|FrameLoop|SyncInputNoWait|StateHashIncremental|SavestateDelta|RelayDemux|RelayShardStep' -benchmem . \
 		| $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
@@ -63,10 +64,25 @@ bench:
 # checked-in baseline with cmd/benchcmp. Fails on a >15% ns/op regression
 # or any allocs/op growth on a gated benchmark — and on a gated benchmark
 # disappearing from the fresh run.
-BENCH_BASELINE ?= BENCH_PR7.json
+BENCH_BASELINE ?= BENCH_PR8.json
 bench-gate:
 	$(MAKE) bench BENCH_JSON=BENCH_NEW.json
 	$(GO) run ./cmd/benchcmp $(BENCH_BASELINE) BENCH_NEW.json
+
+# The QoE load-generation gate: replays the 1024-session virtual-time
+# sweep across every netem profile and diffs the verdict table against
+# the checked-in baseline (internal/trafficgen/testdata/qoe_baseline.txt).
+# On a mismatch the got/want tables and a pair of small .rkcp captures
+# land in $(QOE_DIR) for CI to upload. Regenerate the baseline after an
+# intentional QoE change with `make qoe-update`.
+QOE_DIR ?= qoe-artifacts
+qoe:
+	RETROLOCK_QOE_DIR=$(QOE_DIR) $(GO) test ./internal/trafficgen/ \
+		-run 'TestQoESweep' -count 1 -v
+
+qoe-update:
+	$(GO) test ./internal/trafficgen/ -run 'TestQoESweepMatchesBaseline' -count 1 \
+		-qoe.update -v
 
 # Static analysis beyond go vet. Staticcheck is fetched on demand — CI
 # runs this; locally it needs network the first time.

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"retrolock/internal/capture"
 	"retrolock/internal/core"
 	"retrolock/internal/simnet"
 	"retrolock/internal/transport"
@@ -60,5 +61,57 @@ func TestSyncInputNoWaitDoesNotAllocate(t *testing.T) {
 	<-done
 	if allocs != 0 {
 		t.Fatalf("steady-state SyncInput over simnet allocates %v per frame, want 0", allocs)
+	}
+}
+
+// TestSyncHotPathWithCaptureDoesNotAllocate is the same steady-state gate
+// with an RKCP capture tap wrapped below the sync module on both conns: a
+// production client recording its session must pay zero allocations per
+// frame for the privilege. The recorder's arena is preallocated and, once a
+// budget fills, drops are counted without allocating either — so the gate
+// holds for the whole life of the tap, not just until it fills.
+func TestSyncHotPathWithCaptureDoesNotAllocate(t *testing.T) {
+	v := vclock.NewVirtual(time.Unix(0, 0))
+	n := simnet.New(v)
+	c0, c1, err := transport.SimPair(n, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := capture.NewRecorder(1<<14, 1<<20)
+	mk := func(site int, conn transport.Conn) *core.InputSync {
+		s, err := core.NewInputSync(core.Config{SiteNo: site}, v, v.Now(),
+			[]core.Peer{{Site: 1 - site, Conn: transport.NewTap(conn, v, site, rec)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s0, s1 := mk(0, c0), mk(1, c1)
+	var allocs float64
+	done := v.Go(func() {
+		frame := 0
+		step := func() {
+			if _, err := s0.SyncInput(1, frame); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := s1.SyncInput(1<<8, frame); err != nil {
+				t.Error(err)
+				return
+			}
+			frame++
+			v.Sleep(16667 * time.Microsecond)
+		}
+		for i := 0; i < 300; i++ {
+			step()
+		}
+		allocs = testing.AllocsPerRun(500, step)
+	})
+	<-done
+	if allocs != 0 {
+		t.Fatalf("steady-state SyncInput with capture tap allocates %v per frame, want 0", allocs)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("capture tap recorded nothing")
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"retrolock/internal/capture"
 	"retrolock/internal/core"
 	"retrolock/internal/flight"
 	"retrolock/internal/harness"
@@ -778,5 +779,46 @@ func BenchmarkBandwidth(b *testing.B) {
 			b.ReportMetric(float64(s.Stats.BytesSent)/1024/secs, "KB-per-s")
 			b.ReportMetric(s.FrameTimes.MAD, "deviation-ms")
 		})
+	}
+}
+
+// BenchmarkSyncHotPathCaptured is BenchmarkSyncHotPath with an RKCP capture
+// tap wrapped around both conns — the configuration a client runs when
+// recording a session for replay. Compare against the untapped benchmark to
+// see the tap's cost: one mutex round and one arena copy per datagram,
+// zero allocations.
+func BenchmarkSyncHotPathCaptured(b *testing.B) {
+	clk := &stepClock{t: time.Unix(0, 0)}
+	c0, c1 := newBenchPipePair()
+	// Budgets sized so the arena keeps absorbing payloads for the whole
+	// run; once full the tap degrades to counted drops, which cost less.
+	rec := capture.NewRecorder(1<<20, 1<<26)
+	mk := func(site int, conn transport.Conn) *core.InputSync {
+		s, err := core.NewInputSync(core.Config{SiteNo: site}, clk, clk.Now(),
+			[]core.Peer{{Site: 1 - site, Conn: transport.NewTap(conn, clk, site, rec)}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	s0, s1 := mk(0, c0), mk(1, c1)
+	step := func(f int) {
+		if _, err := s0.SyncInput(uint16(f)&0xFF, f); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s1.SyncInput(uint16(f)<<8, f); err != nil {
+			b.Fatal(err)
+		}
+		clk.Sleep(core.DefaultSendInterval)
+	}
+	frame := 0
+	for ; frame < 300; frame++ { // warm-up to steady-state scratch sizes
+		step(frame)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step(frame)
+		frame++
 	}
 }

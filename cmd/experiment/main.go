@@ -20,6 +20,7 @@
 //	experiment -series chaos                # deterministic fault-injection soak
 //	experiment -series soak                 # headless emulation frames/sec per game
 //	experiment -series relayload            # real-clock relayd hosting capacity (sessions/core)
+//	experiment -series qoeload              # per-profile QoE verdicts under modeled session load
 //	experiment -series all                  # everything
 //
 // -frames, -seed, -game and -procdelay override the defaults; -quick trims
@@ -139,6 +140,7 @@ func main() {
 	run("chaos", chaosSeries)
 	run("soak", soak)
 	run("relayload", relayload)
+	run("qoeload", qoeload)
 }
 
 var (

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/binary"
+	"flag"
 	"fmt"
 	"net"
 	"runtime"
@@ -14,6 +15,26 @@ import (
 	"retrolock/internal/relay"
 )
 
+// Load-generator sizing, shared by the relayload and qoeload series. The
+// defaults match the original hard-coded relayload operating point.
+var (
+	flagSessions = flag.Int("sessions", 512, "relayload/qoeload: concurrent modeled sessions")
+	flagHz       = flag.Int("hz", 60, "relayload/qoeload: per-site send cadence in Hz")
+)
+
+// relayloadParams resolves -sessions/-hz into the generator operating point,
+// clamping nonsense values back to the defaults.
+func relayloadParams() (sessions int, hz int, tick time.Duration) {
+	sessions, hz = *flagSessions, *flagHz
+	if sessions <= 0 {
+		sessions = 512
+	}
+	if hz <= 0 {
+		hz = 60
+	}
+	return sessions, hz, time.Second / time.Duration(hz)
+}
+
 // relayload is the real-clock counterpart of the virtual-time relay soak:
 // it runs a relay daemon over loopback UDP sockets, drives a few hundred
 // concurrent sessions at frame cadence from generator sockets, and reports
@@ -21,12 +42,11 @@ import (
 // p50/p99 relayed frame time — with every figure read back through the obs
 // registry, the same series a production relayd exports.
 func relayload(cfg harness.Config) error {
+	nSessions, _, tick := relayloadParams()
 	const (
-		nSessions = 512
 		nGens     = 8 // generator sockets; both sites of a session share one
-		tick      = 16667 * time.Microsecond
 		warmTicks = 30
-		runTicks  = 300 // ~5 s of measurement
+		runTicks  = 300 // ~5 s of measurement at the default cadence
 	)
 
 	front, err := relay.ListenUDPFront("127.0.0.1:0")

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"flag"
+	"testing"
+	"time"
+)
+
+// TestRelayloadParams pins the -sessions/-hz plumbing: the documented
+// defaults (512 sessions at 60 Hz), flag overrides, and the clamp that
+// sends nonsense values back to the defaults.
+func TestRelayloadParams(t *testing.T) {
+	setFlags := func(sessions, hz string) {
+		t.Helper()
+		if err := flag.Set("sessions", sessions); err != nil {
+			t.Fatal(err)
+		}
+		if err := flag.Set("hz", hz); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer setFlags("512", "60")
+
+	cases := []struct {
+		name         string
+		sessions, hz string
+		wantSessions int
+		wantHz       int
+		wantTick     time.Duration
+	}{
+		{"defaults", "512", "60", 512, 60, time.Second / 60},
+		{"override", "2048", "120", 2048, 120, time.Second / 120},
+		{"zero clamps", "0", "0", 512, 60, time.Second / 60},
+		{"negative clamps", "-3", "-1", 512, 60, time.Second / 60},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			setFlags(tc.sessions, tc.hz)
+			sessions, hz, tick := relayloadParams()
+			if sessions != tc.wantSessions || hz != tc.wantHz || tick != tc.wantTick {
+				t.Errorf("relayloadParams() = (%d, %d, %v), want (%d, %d, %v)",
+					sessions, hz, tick, tc.wantSessions, tc.wantHz, tc.wantTick)
+			}
+		})
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"syscall"
 	"time"
 
+	"retrolock/internal/capture"
 	"retrolock/internal/lobby"
 	"retrolock/internal/obs"
 	"retrolock/internal/relay"
@@ -38,8 +39,15 @@ func main() {
 	lobbyTTL := flag.Duration("lobby-ttl", 10*time.Minute, "idle session expiry (lobby side)")
 	advertise := flag.String("advertise", "", "front address to hand to clients (default: the bound address)")
 	obsAddr := flag.String("obs", "", "serve metrics/healthz/pprof on this HTTP address (e.g. :6060)")
+	capturePath := flag.String("capture", "", "write an RKCP capture of relayed traffic to this file on shutdown (bounded in-memory tap)")
 	flag.Parse()
 
+	var tap *capture.Recorder
+	if *capturePath != "" {
+		// Bounded tap: once full it drops with a count instead of growing,
+		// so it is safe to leave on in production.
+		tap = capture.NewRecorder(1<<16, 1<<24)
+	}
 	fs, err := bindFronts(*listen, *fronts)
 	if err != nil {
 		log.Fatal(err)
@@ -48,6 +56,7 @@ func main() {
 		Shards:      *shards,
 		MaxSessions: *maxSessions,
 		SessionTTL:  *ttl,
+		Tap:         tap,
 	}, fs)
 	if err != nil {
 		log.Fatal(err)
@@ -100,10 +109,20 @@ func main() {
 		_ = srv.Close()
 		d.Close()
 	}()
-	if err := srv.Serve(); err != nil {
-		log.Fatal(err)
-	}
+	serveErr := srv.Serve()
 	d.Close()
+	if tap != nil {
+		c := tap.Snapshot(capture.Meta{Notes: "relayd -capture tap"})
+		if err := os.WriteFile(*capturePath, c.Encode(), 0o644); err != nil {
+			log.Printf("capture: %v", err)
+		} else {
+			log.Printf("capture: wrote %d datagrams (%d dropped) to %s",
+				len(c.Records), c.Meta.Dropped, *capturePath)
+		}
+	}
+	if serveErr != nil {
+		log.Fatal(serveErr)
+	}
 }
 
 // bindFronts opens n UDP sockets: with port 0 each is ephemeral, otherwise

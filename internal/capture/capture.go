@@ -1,0 +1,255 @@
+// Package capture is retrolock's pcap analogue: a versioned container for
+// session datagram traffic (the RKCP format) plus a bounded, steady-state
+// zero-allocation Recorder that transport connections, the relay daemon and
+// the traffic generator all tap into.
+//
+// A capture stores, per datagram, the instant it crossed the tap, the
+// direction (send or receive, from the tap owner's point of view), the site
+// it belongs to and the raw payload — plus a metadata section describing the
+// session the traffic came from: the named netem profile (or raw link
+// configs) and the nominal input cadence. That is exactly what the traffic
+// generator (internal/trafficgen) needs to replay a recorded session's load
+// shape against a live relayd, the capture→replay loop CGReplay argues for.
+//
+// The container follows the same conventions as the RKFB flight bundle
+// (internal/flight): magic + version, tagged length-prefixed sections, an
+// FNV-1a/32 trailer over every preceding byte, unknown tags skipped on
+// decode, and a Decode that is total — corrupt or truncated input yields an
+// error, never a panic (FuzzDecodeCapture enforces this).
+package capture
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"retrolock/internal/netem"
+)
+
+// Capture container format (little endian):
+//
+//	magic    "RKCP" (4)
+//	version  u16
+//	sections until the CRC trailer, each:
+//	    tag u8, length u32, payload
+//	crc      u32 — FNV-1a/32 of every preceding byte
+const (
+	captureMagic = "RKCP"
+	// Version is the current RKCP container version.
+	Version = 1
+)
+
+// Section tags.
+const (
+	secMeta = 1 + iota
+	secRecords
+)
+
+// recHeaderSize is the fixed prefix of one encoded record: at u64 (ns since
+// the capture epoch), dir u8, site u8, length u32.
+const recHeaderSize = 8 + 1 + 1 + 4
+
+// Dir is a datagram's direction from the tap owner's point of view.
+type Dir uint8
+
+const (
+	// DirSend marks a datagram the tap owner transmitted.
+	DirSend Dir = 0
+	// DirRecv marks a datagram the tap owner received.
+	DirRecv Dir = 1
+)
+
+// String names the direction for reports.
+func (d Dir) String() string {
+	if d == DirSend {
+		return "send"
+	}
+	return "recv"
+}
+
+// Meta describes the session whose traffic a capture holds. Everything is
+// optional except Version; the generator only needs Profile/InputHz to
+// reconstruct a load model, and falls back to the record timings themselves.
+type Meta struct {
+	Version int `json:"version"`
+	// Epoch is the capture's time origin in Unix nanoseconds; every
+	// record's At is an offset from it.
+	Epoch int64 `json:"epoch_unix_ns"`
+	// Game names the ROM the captured session ran, if known.
+	Game string `json:"game,omitempty"`
+	// Profile is the named netem profile the session's links used
+	// (see netem.Profile); empty when the links were hand-configured.
+	Profile string `json:"profile,omitempty"`
+	// InputHz is the session's nominal input cadence in sends per second
+	// per site (0: unknown).
+	InputHz float64 `json:"input_hz,omitempty"`
+	// Fwd/Rev are the raw per-direction link configurations, when the
+	// recorder knew them (netem.Config is plain data and JSON-stable).
+	Fwd *netem.Config `json:"fwd,omitempty"`
+	Rev *netem.Config `json:"rev,omitempty"`
+	// Notes is free-form provenance ("harness run seed 7", "relayd tap").
+	Notes string `json:"notes,omitempty"`
+	// Dropped is how many datagrams the recorder rejected after its budget
+	// filled — a capture with Dropped > 0 is a truncated view, not a lie.
+	Dropped int64 `json:"dropped,omitempty"`
+}
+
+// Record is one captured datagram.
+type Record struct {
+	// At is the tap instant as an offset from Meta.Epoch.
+	At time.Duration
+	// Dir is the datagram's direction at the tap.
+	Dir Dir
+	// Site is the session site the datagram belongs to (sender site for
+	// DirSend, receiving site for DirRecv; relay taps use the site byte of
+	// the relay header).
+	Site uint8
+	// Payload is the raw datagram, relay prefix included when the tap sits
+	// below the relay header.
+	Payload []byte
+}
+
+// Capture is one decoded RKCP file.
+type Capture struct {
+	Meta    Meta
+	Records []Record
+}
+
+// Span is the duration covered by the records (0 when fewer than 2 records).
+func (c *Capture) Span() time.Duration {
+	if len(c.Records) < 2 {
+		return 0
+	}
+	return c.Records[len(c.Records)-1].At - c.Records[0].At
+}
+
+func appendSection(buf []byte, tag byte, payload []byte) []byte {
+	buf = append(buf, tag)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	return append(buf, payload...)
+}
+
+// Encode serializes the capture.
+func (c *Capture) Encode() []byte {
+	meta, err := json.Marshal(c.Meta)
+	if err != nil {
+		meta = []byte("{}") // a Meta of plain fields cannot fail
+	}
+	size := 16 + len(meta) + 4 + len(c.Records)*recHeaderSize
+	for i := range c.Records {
+		size += len(c.Records[i].Payload)
+	}
+	buf := make([]byte, 0, size+64)
+	buf = append(buf, captureMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, Version)
+	buf = appendSection(buf, secMeta, meta)
+	if len(c.Records) > 0 {
+		p := make([]byte, 0, 4+len(c.Records)*(recHeaderSize+64))
+		p = binary.LittleEndian.AppendUint32(p, uint32(len(c.Records)))
+		for i := range c.Records {
+			r := &c.Records[i]
+			p = binary.LittleEndian.AppendUint64(p, uint64(r.At))
+			p = append(p, byte(r.Dir), r.Site)
+			p = binary.LittleEndian.AppendUint32(p, uint32(len(r.Payload)))
+			p = append(p, r.Payload...)
+		}
+		buf = appendSection(buf, secRecords, p)
+	}
+	h := fnv.New32a()
+	h.Write(buf)
+	return binary.LittleEndian.AppendUint32(buf, h.Sum32())
+}
+
+// Decode parses a serialized capture. It is total: corrupt or truncated
+// input yields an error, never a panic.
+func Decode(data []byte) (*Capture, error) {
+	if len(data) < 6+4 {
+		return nil, fmt.Errorf("capture: %d bytes too short for an RKCP container", len(data))
+	}
+	if string(data[:4]) != captureMagic {
+		return nil, fmt.Errorf("capture: bad magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != Version {
+		return nil, fmt.Errorf("capture: unsupported version %d", v)
+	}
+	body, crc := data[:len(data)-4], data[len(data)-4:]
+	h := fnv.New32a()
+	h.Write(body)
+	if h.Sum32() != binary.LittleEndian.Uint32(crc) {
+		return nil, fmt.Errorf("capture: checksum mismatch (capture corrupt)")
+	}
+	c := &Capture{}
+	sawMeta := false
+	off := 6
+	for off < len(body) {
+		if off+5 > len(body) {
+			return nil, fmt.Errorf("capture: truncated section header at %d", off)
+		}
+		tag := body[off]
+		n := int(binary.LittleEndian.Uint32(body[off+1:]))
+		off += 5
+		if n < 0 || off+n > len(body) {
+			return nil, fmt.Errorf("capture: section %d declares %d bytes, %d available", tag, n, len(body)-off)
+		}
+		p := body[off : off+n]
+		off += n
+		switch tag {
+		case secMeta:
+			if err := json.Unmarshal(p, &c.Meta); err != nil {
+				return nil, fmt.Errorf("capture: meta: %w", err)
+			}
+			sawMeta = true
+		case secRecords:
+			recs, err := decodeRecords(p)
+			if err != nil {
+				return nil, err
+			}
+			c.Records = recs
+		default:
+			// Unknown section from a newer recorder: skip.
+		}
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("capture: no meta section")
+	}
+	return c, nil
+}
+
+func decodeRecords(p []byte) ([]Record, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("capture: truncated record section")
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if n < 0 || n > len(p)/recHeaderSize {
+		return nil, fmt.Errorf("capture: record section declares %d records, %d bytes available", n, len(p))
+	}
+	out := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		if len(p) < recHeaderSize {
+			return nil, fmt.Errorf("capture: truncated record %d header", i)
+		}
+		r := Record{
+			At:   time.Duration(binary.LittleEndian.Uint64(p)),
+			Dir:  Dir(p[8]),
+			Site: p[9],
+		}
+		if r.Dir != DirSend && r.Dir != DirRecv {
+			return nil, fmt.Errorf("capture: record %d: bad direction %d", i, r.Dir)
+		}
+		sz := int(binary.LittleEndian.Uint32(p[10:]))
+		p = p[recHeaderSize:]
+		if sz < 0 || sz > len(p) {
+			return nil, fmt.Errorf("capture: record %d declares %d payload bytes, %d available", i, sz, len(p))
+		}
+		r.Payload = append([]byte(nil), p[:sz]...)
+		p = p[sz:]
+		out = append(out, r)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("capture: %d trailing bytes after records", len(p))
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package capture
+
+import (
+	"sync"
+	"time"
+)
+
+// rec is the recorder's in-arena view of one datagram: the payload lives in
+// the shared byte arena, so steady-state recording allocates nothing.
+type rec struct {
+	at   int64 // ns since the recorder's epoch
+	off  uint32
+	n    uint32
+	dir  Dir
+	site uint8
+}
+
+// Recorder is a concurrent, bounded capture tap. Multiple goroutines — both
+// sites of a session, every relay shard — may Record into one instance; a
+// mutex serializes appends so records never interleave mid-write. Both the
+// record index and the payload arena are preallocated: once either budget is
+// exhausted the recorder stops accepting datagrams and counts the overflow,
+// keeping the earliest traffic (the interesting part of most incidents) and
+// bounding memory like every other retrolock ring.
+//
+// A nil *Recorder is valid and ignores records, so taps can be compiled into
+// hot paths unconditionally.
+type Recorder struct {
+	mu       sync.Mutex
+	epoch    time.Time
+	epochSet bool
+	recs     []rec
+	arena    []byte
+	dropped  int64
+}
+
+// NewRecorder builds a recorder bounded to maxRecords datagrams and maxBytes
+// of total payload. Non-positive bounds select small defaults (4096 records,
+// 1 MiB).
+func NewRecorder(maxRecords, maxBytes int) *Recorder {
+	if maxRecords <= 0 {
+		maxRecords = 4096
+	}
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	return &Recorder{
+		recs:  make([]rec, 0, maxRecords),
+		arena: make([]byte, 0, maxBytes),
+	}
+}
+
+// SetEpoch pins the capture's time origin. Without it, the first recorded
+// datagram's instant becomes the epoch.
+func (r *Recorder) SetEpoch(t time.Time) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.epoch, r.epochSet = t, true
+	r.mu.Unlock()
+}
+
+// Record appends one datagram. The payload is copied into the arena, so the
+// caller's buffer may be reused immediately. Steady state allocates nothing;
+// overflow of either budget drops with a count.
+func (r *Recorder) Record(at time.Time, dir Dir, site int, payload []byte) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if !r.epochSet {
+		r.epoch, r.epochSet = at, true
+	}
+	if len(r.recs) == cap(r.recs) || len(payload) > cap(r.arena)-len(r.arena) {
+		r.dropped++
+		r.mu.Unlock()
+		return
+	}
+	off := len(r.arena)
+	r.arena = append(r.arena, payload...)
+	r.recs = append(r.recs, rec{
+		at:   at.Sub(r.epoch).Nanoseconds(),
+		off:  uint32(off),
+		n:    uint32(len(payload)),
+		dir:  dir,
+		site: uint8(site),
+	})
+	r.mu.Unlock()
+}
+
+// Len returns how many datagrams are recorded.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.recs)
+}
+
+// Dropped returns how many datagrams overflowed the budgets.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// BytesUsed returns the arena bytes holding recorded payloads.
+func (r *Recorder) BytesUsed() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.arena)
+}
+
+// Snapshot materializes the recorder's contents as a Capture under the given
+// meta. Records are copied out (payloads included), so the recorder may keep
+// recording afterwards. Meta.Epoch and Meta.Dropped are filled from the
+// recorder's own state.
+func (r *Recorder) Snapshot(meta Meta) *Capture {
+	c := &Capture{Meta: meta}
+	c.Meta.Version = Version
+	if r == nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c.Meta.Epoch = r.epoch.UnixNano()
+	if !r.epochSet {
+		c.Meta.Epoch = 0
+	}
+	c.Meta.Dropped = r.dropped
+	c.Records = make([]Record, len(r.recs))
+	for i, rc := range r.recs {
+		c.Records[i] = Record{
+			At:      time.Duration(rc.at),
+			Dir:     rc.dir,
+			Site:    rc.site,
+			Payload: append([]byte(nil), r.arena[rc.off:rc.off+rc.n]...),
+		}
+	}
+	return c
+}

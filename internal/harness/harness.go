@@ -12,6 +12,7 @@ import (
 	"os"
 	"time"
 
+	"retrolock/internal/capture"
 	"retrolock/internal/core"
 	"retrolock/internal/flight"
 	"retrolock/internal/metrics"
@@ -133,6 +134,13 @@ type Config struct {
 	// StallThreshold is the SyncInput wait past which a session declares a
 	// liveness-stall incident (0 disables the trigger).
 	StallThreshold time.Duration
+
+	// Capture, when set, records every datagram both sites put on (or take
+	// off) the emulated WAN into this RKCP recorder — below the ARQ layer,
+	// so the capture shows retransmissions and duplicates as they crossed
+	// the wire. Virtual-time runs produce bit-identical captures for
+	// identical configs.
+	Capture *capture.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -347,10 +355,16 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	conns := []transport.Conn{conn0, conn1}
+	if cfg.Capture != nil {
+		// Tap below ARQ: the capture is the wire's view, not the session's.
+		for i := range conns {
+			conns[i] = transport.NewTap(conns[i], v, i, cfg.Capture)
+		}
+	}
 	var arqs [2]*transport.ARQConn
 	if cfg.ARQ {
 		rto := cfg.ARQRto
-		for i, lower := range []transport.Conn{conn0, conn1} {
+		for i, lower := range []transport.Conn{conns[0], conns[1]} {
 			arqs[i] = transport.NewARQ(lower, v, rto)
 			conns[i] = arqs[i]
 			transport.RegisterARQMetrics(reg, obs.SiteLabels(i), arqs[i])

@@ -1,0 +1,68 @@
+package netem
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Named link profiles: the handful of access-network shapes the QoE load
+// generator (internal/trafficgen) sweeps and EXPERIMENTS.md reports on.
+// Each profile is a symmetric pair of per-direction Configs with loss and
+// jitter figures chosen to sit on interesting sides of the paper's
+// feasibility thresholds:
+//
+//   - wifi: a good home WLAN — low delay, moderate jitter, bursty 1% loss
+//     (interference comes in clumps, not coin flips; a relayed path crosses
+//     two such links, doubling both delay and loss).
+//   - lte: a loaded cellular link — ~70 ms RTT with wide jitter; through a
+//     relay the doubled path brushes the degraded band.
+//   - transcontinental: a ~150 ms RTT long-haul path — fine for lockstep
+//     peer-to-peer only barely, and past the cliff once relayed.
+var profiles = map[string]Config{
+	"wifi": {
+		Delay:     6 * time.Millisecond,
+		Jitter:    4 * time.Millisecond,
+		Loss:      0.01,
+		BurstLoss: true,
+		MeanBurst: 4,
+		Reorder:   0.002,
+	},
+	"lte": {
+		Delay:     35 * time.Millisecond,
+		Jitter:    10 * time.Millisecond,
+		Loss:      0.005,
+		BurstLoss: true,
+		MeanBurst: 8,
+	},
+	"transcontinental": {
+		Delay:   75 * time.Millisecond,
+		Jitter:  3 * time.Millisecond,
+		Loss:    0.002,
+		Reorder: 0.001,
+	},
+}
+
+// Profiles lists the named profiles in stable (sorted) order.
+func Profiles() []string {
+	names := make([]string, 0, len(profiles))
+	for n := range profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Profile returns the per-direction configurations of a named profile,
+// seeded like Symmetric (forward gets seed, reverse seed+1). The error names
+// the valid profiles, so a mistyped -profile flag is self-explaining.
+func Profile(name string, seed int64) (fwd, rev Config, err error) {
+	base, ok := profiles[name]
+	if !ok {
+		return Config{}, Config{}, fmt.Errorf("netem: unknown profile %q (have %v)", name, Profiles())
+	}
+	fwd, rev = base, base
+	fwd.Seed = seed
+	rev.Seed = seed + 1
+	return fwd, rev, nil
+}

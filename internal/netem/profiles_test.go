@@ -1,0 +1,48 @@
+package netem
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProfiles(t *testing.T) {
+	names := Profiles()
+	if len(names) < 3 {
+		t.Fatalf("want at least 3 named profiles, have %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Profiles() not in stable sorted order: %v", names)
+		}
+	}
+	for _, want := range []string{"wifi", "lte", "transcontinental"} {
+		fwd, rev, err := Profile(want, 42)
+		if err != nil {
+			t.Fatalf("Profile(%q): %v", want, err)
+		}
+		if fwd.Seed != 42 || rev.Seed != 43 {
+			t.Errorf("%s: seeds fwd=%d rev=%d, want 42/43", want, fwd.Seed, rev.Seed)
+		}
+		if fwd.Delay <= 0 {
+			t.Errorf("%s: non-positive delay %v", want, fwd.Delay)
+		}
+		rev.Seed = fwd.Seed
+		if fwd != rev {
+			t.Errorf("%s: directions differ beyond the seed", want)
+		}
+	}
+	if _, _, err := Profile("dialup", 1); err == nil {
+		t.Error("unknown profile did not error")
+	}
+	// The relayed-path ordering the QoE table leans on: wifi < lte <
+	// transcontinental in one-way delay.
+	w, _, _ := Profile("wifi", 1)
+	l, _, _ := Profile("lte", 1)
+	tc, _, _ := Profile("transcontinental", 1)
+	if !(w.Delay < l.Delay && l.Delay < tc.Delay) {
+		t.Errorf("profile delays not ordered: wifi=%v lte=%v transcontinental=%v", w.Delay, l.Delay, tc.Delay)
+	}
+	if tc.Delay < 70*time.Millisecond {
+		t.Errorf("transcontinental delay %v is below the paper's feasibility cliff when doubled", tc.Delay)
+	}
+}

@@ -1,0 +1,80 @@
+package obs
+
+import "strings"
+
+// Table renders fixed-width ASCII tables for experiment reports — the QoE
+// verdict tables in EXPERIMENTS.md and the golden baselines CI diffs come
+// through here. The renderer is deliberately boring and deterministic: same
+// cells in, same bytes out, so a checked-in table can be compared with
+// bytes.Equal.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row. Short rows are padded with empty cells at render
+// time; long rows widen the table.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with a header rule, two-space gutters and
+// left-aligned cells:
+//
+//	profile  mode      healthy  degraded
+//	-------  ----      -------  --------
+//	wifi     lockstep  100.0%   0.0%
+func (t *Table) String() string {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	if cols == 0 {
+		return ""
+	}
+	width := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	writeRow := func(r []string) {
+		last := len(r) - 1
+		for last >= 0 && r[last] == "" {
+			last--
+		}
+		for i := 0; i <= last; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			b.WriteString(cell)
+			if i < last {
+				b.WriteString(strings.Repeat(" ", width[i]-len(cell)+2))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		rule := make([]string, len(t.Header))
+		for i, h := range t.Header {
+			rule[i] = strings.Repeat("-", len(h))
+		}
+		writeRow(rule)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package obs
+
+import "testing"
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"profile", "mode", "healthy"}}
+	tb.AddRow("wifi", "lockstep", "100.0%")
+	tb.AddRow("transcontinental", "rollback", "0.0%")
+	want := "" +
+		"profile           mode      healthy\n" +
+		"-------           ----      -------\n" +
+		"wifi              lockstep  100.0%\n" +
+		"transcontinental  rollback  0.0%\n"
+	if got := tb.String(); got != want {
+		t.Errorf("rendered table mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// Determinism: rendering twice yields identical bytes.
+	if tb.String() != tb.String() {
+		t.Error("String() is not deterministic")
+	}
+	// No trailing spaces on any line (a golden-file hygiene property: editors
+	// and diff tools mangle them).
+	for i, line := range splitLines(tb.String()) {
+		if len(line) > 0 && line[len(line)-1] == ' ' {
+			t.Errorf("line %d has trailing space: %q", i, line)
+		}
+	}
+	if (&Table{}).String() != "" {
+		t.Error("empty table should render empty")
+	}
+	// Ragged rows pad/widen without panicking.
+	rg := &Table{Header: []string{"a"}}
+	rg.AddRow("x", "y", "z")
+	rg.AddRow()
+	if rg.String() == "" {
+		t.Error("ragged table rendered empty")
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"retrolock/internal/capture"
 	"retrolock/internal/obs"
 	"retrolock/internal/vclock"
 )
@@ -48,6 +49,14 @@ type Config struct {
 	// Seed drives token salt generation (0 picks a fixed seed; tokens only
 	// need uniqueness, unguessability is best-effort without crypto).
 	Seed int64
+	// Tap, when set, mirrors every datagram crossing the shards into the
+	// bounded capture recorder (capture.DirRecv at ingest with the sender's
+	// site, capture.DirSend at flush with the destination site; the relay
+	// prefix is included, so a capture replays verbatim). Recording is
+	// allocation-free in steady state and drops with a count once the
+	// recorder's budgets fill, so the tap may stay attached under load —
+	// BenchmarkRelayShardStepCaptured gates the cost.
+	Tap *capture.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -296,8 +305,49 @@ func (d *Daemon) StartVirtual(v *vclock.Virtual) {
 		d.wg.Add(1)
 		v.Go(func() {
 			defer d.wg.Done()
+			// Phase-offset the shard loops half a poll interval from the
+			// reader loops. Same-instant actors run in unspecified order
+			// under the virtual clock, so a reader pushing into a shard
+			// queue at the very instant the shard steps would make "this
+			// step or the next" a scheduling race — harmless for the soak's
+			// invariants, but a ±PollInterval wobble in delivery instants
+			// that the QoE sweep's bit-identical-verdict contract cannot
+			// afford. With the offset, pushes at t strictly precede the
+			// step at t+PollInterval/2.
+			v.Sleep(d.cfg.PollInterval / 2)
 			s.runVirtual(&d.closed)
 		})
+	}
+}
+
+// StartPolled runs the StartVirtual topology on plain goroutines against the
+// configured clock: readers and shards poll at PollInterval and park with
+// Clock.Sleep. This is how a real-time run drives simnet fronts (whose Recv
+// never blocks) over the wall clock — the path `experiment -series qoeload`
+// uses to shape live generator traffic with netem profiles.
+func (d *Daemon) StartPolled() {
+	for _, f := range d.fronts {
+		f := f
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			ms := newBatch(d.cfg.WriteBatch)
+			for !d.closed.Load() {
+				n, err := f.Recv(ms)
+				if err == nil && n > 0 {
+					d.Route(ms, n)
+				}
+				d.cfg.Clock.Sleep(d.cfg.PollInterval)
+			}
+		}()
+	}
+	for _, s := range d.shards {
+		s := s
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			s.runVirtual(&d.closed)
+		}()
 	}
 }
 

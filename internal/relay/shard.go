@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"retrolock/internal/capture"
 	"retrolock/internal/obs"
 	"retrolock/internal/vclock"
 )
@@ -214,6 +215,12 @@ func (s *Shard) ingest(m *Message, now time.Time) {
 		putBuf(m.Buf)
 		return
 	}
+	// Tap after the shape checks (runts and bad sites never made it onto the
+	// wire view) but before token lookup, so a capture also shows the
+	// stray-token traffic a replay needs to reproduce rejection load.
+	if s.cfg.Tap != nil {
+		s.cfg.Tap.Record(now, capture.DirRecv, site, m.Buf)
+	}
 	h, ok := s.sessions[token]
 	if !ok {
 		s.rejToken.Inc()
@@ -282,6 +289,18 @@ func (s *Shard) drainPending(h *hosted, site int) {
 func (s *Shard) flush() {
 	if len(s.outBatch) == 0 {
 		return
+	}
+	if s.cfg.Tap != nil {
+		// Record sends against the *destination* site. The buffered header
+		// still carries the sender's site byte (the relay forwards datagrams
+		// verbatim), so the destination is its complement. Recording here
+		// covers both direct forwards and drained-pending sends with one hook.
+		now := s.clock.Now()
+		for i := range s.outBatch {
+			if _, site, _, ok := ParseHeader(s.outBatch[i].Buf); ok {
+				s.cfg.Tap.Record(now, capture.DirSend, 1-site, s.outBatch[i].Buf)
+			}
+		}
 	}
 	_, _ = s.out.Send(s.outBatch)
 	for i := range s.outBatch {

@@ -1,0 +1,34 @@
+package trafficgen
+
+import (
+	"math/rand"
+	"time"
+)
+
+// rng wraps a session's private math/rand stream. Every draw goes through
+// integer Int63n, so the sequence (and therefore a virtual-time run) is
+// bit-reproducible across platforms.
+type rng struct{ r *rand.Rand }
+
+func newRng(seed int64) *rng { return &rng{r: rand.New(rand.NewSource(seed))} }
+
+// jittered returns a duration uniform in [d/2, 3d/2) — the ±50% spread the
+// think and churn models use so a population does not move in lockstep.
+func (g *rng) jittered(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(g.r.Int63n(int64(d)))
+}
+
+// spread returns base widened uniformly by ± frac of itself.
+func (g *rng) spread(base time.Duration, frac float64) time.Duration {
+	if frac <= 0 || base <= 0 {
+		return base
+	}
+	delta := int64(float64(base) * frac)
+	if delta <= 0 {
+		return base
+	}
+	return base - time.Duration(delta) + time.Duration(g.r.Int63n(2*delta+1))
+}

@@ -1,0 +1,318 @@
+package trafficgen
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"retrolock/internal/capture"
+	"retrolock/internal/netem"
+	"retrolock/internal/relay"
+)
+
+var (
+	qoeUpdate   = flag.Bool("qoe.update", false, "rewrite testdata/qoe_baseline.txt from this run")
+	qoeSessions = flag.Int("qoe.sessions", 256, "modeled sessions in the determinism re-run test")
+)
+
+// baselineSweep is the pinned configuration behind testdata/qoe_baseline.txt
+// and the `make qoe` CI gate: ≥1k modeled sessions swept over every named
+// profile, with think-time and churn active. Change it only together with
+// the baseline file.
+func baselineSweep() SweepConfig {
+	return SweepConfig{
+		Model: Model{
+			Sessions:      1024,
+			Drivers:       16,
+			InputHz:       60,
+			CadenceJitter: 0.2,
+			JoinSpread:    250 * time.Millisecond,
+			Think:         ThinkModel{Every: 2 * time.Second, For: 300 * time.Millisecond},
+			Churn:         ChurnModel{LeaveEvery: 5 * time.Second, DownFor: 500 * time.Millisecond},
+			Seed:          7,
+		},
+		Shards:  16,
+		Warmup:  600 * time.Millisecond,
+		Measure: 1500 * time.Millisecond,
+		Drain:   400 * time.Millisecond,
+	}
+}
+
+// TestQoESweepMatchesBaseline is the CI QoE gate: the virtual-time sweep
+// over every named profile must render the exact verdict table checked in at
+// testdata/qoe_baseline.txt. A diff means a behavior change somewhere in the
+// relay/netem/simnet stack — rerun with -qoe.update and review the new table
+// like any golden change. On failure the table (and, when RETROLOCK_QOE_DIR
+// is set, capture artifacts) is written out for CI upload.
+func TestQoESweepMatchesBaseline(t *testing.T) {
+	results, table, err := Sweep(baselineSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.LeakErrs != 0 || r.IntegrityErrs != 0 || r.MiswireErrs != 0 {
+			t.Errorf("%s: relay correctness errors: leak=%d integrity=%d miswire=%d",
+				r.Profile, r.LeakErrs, r.IntegrityErrs, r.MiswireErrs)
+		}
+		if r.Sent == 0 || r.Recv == 0 {
+			t.Errorf("%s: sweep moved no traffic (sent=%d recv=%d)", r.Profile, r.Sent, r.Recv)
+		}
+	}
+	got := table.String()
+
+	golden := filepath.Join("testdata", "qoe_baseline.txt")
+	if *qoeUpdate {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s:\n%s", golden, got)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing QoE baseline (run with -qoe.update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("QoE verdict table diverged from baseline.\ngot:\n%s\nwant:\n%s\n(rerun with -qoe.update if the change is intended)", got, want)
+		writeFailureArtifacts(t, got, string(want))
+	}
+}
+
+// writeFailureArtifacts drops the diverging tables plus a small RKCP capture
+// pair (client-side and relay-side view of one wifi run) into
+// $RETROLOCK_QOE_DIR so the CI job can upload them.
+func writeFailureArtifacts(t *testing.T, got, want string) {
+	dir := os.Getenv("RETROLOCK_QOE_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("qoe artifacts: %v", err)
+		return
+	}
+	_ = os.WriteFile(filepath.Join(dir, "qoe_verdicts_got.txt"), []byte(got), 0o644)
+	_ = os.WriteFile(filepath.Join(dir, "qoe_verdicts_want.txt"), []byte(want), 0o644)
+	client := capture.NewRecorder(4096, 1<<20)
+	relayTap := capture.NewRecorder(4096, 1<<20)
+	r, err := Run(RunConfig{
+		Model:    Model{Sessions: 32, Drivers: 4, Seed: 7},
+		Profile:  "wifi",
+		Measure:  500 * time.Millisecond,
+		Capture:  client,
+		RelayTap: relayTap,
+	})
+	if err != nil {
+		t.Logf("qoe artifacts: capture run: %v", err)
+		return
+	}
+	fwd, rev, _ := netem.Profile("wifi", 7)
+	meta := capture.Meta{
+		Game: "trafficgen", Profile: r.Profile, InputHz: 60,
+		Fwd: &fwd, Rev: &rev, Notes: "QoE baseline failure artifact",
+	}
+	_ = os.WriteFile(filepath.Join(dir, "qoe_client.rkcp"), client.Snapshot(meta).Encode(), 0o644)
+	_ = os.WriteFile(filepath.Join(dir, "qoe_relay.rkcp"), relayTap.Snapshot(meta).Encode(), 0o644)
+	t.Logf("qoe artifacts written to %s", dir)
+}
+
+// TestQoESweepDeterministicRerun runs the same (smaller) sweep twice in one
+// process and requires bit-identical verdict tables, aggregate histograms
+// and counters — the property that makes the golden baseline meaningful.
+func TestQoESweepDeterministicRerun(t *testing.T) {
+	cfg := SweepConfig{
+		Model: Model{
+			Sessions: *qoeSessions,
+			Drivers:  8,
+			Think:    ThinkModel{Every: time.Second, For: 200 * time.Millisecond},
+			Churn:    ChurnModel{LeaveEvery: 2 * time.Second, DownFor: 300 * time.Millisecond},
+			Seed:     11,
+		},
+		Profiles: []string{"wifi", "transcontinental"},
+		Shards:   8,
+		Warmup:   400 * time.Millisecond,
+		Measure:  800 * time.Millisecond,
+		Drain:    300 * time.Millisecond,
+	}
+	r1, t1, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, t2, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.String() != t2.String() {
+		t.Errorf("verdict tables differ across reruns:\nfirst:\n%s\nsecond:\n%s", t1.String(), t2.String())
+	}
+	for i := range r1 {
+		a, b := r1[i], r2[i]
+		if a.Sent != b.Sent || a.Recv != b.Recv ||
+			a.Healthy != b.Healthy || a.Degraded != b.Degraded || a.Infeasible != b.Infeasible {
+			t.Errorf("%s: run figures differ: %+v vs %+v", a.Profile, summary(a), summary(b))
+		}
+		if a.Latency.Buckets() != b.Latency.Buckets() {
+			t.Errorf("%s: latency histograms differ across reruns", a.Profile)
+		}
+	}
+}
+
+func summary(r *Result) map[string]int64 {
+	return map[string]int64{
+		"sent": r.Sent, "recv": r.Recv,
+		"healthy": int64(r.Healthy), "degraded": int64(r.Degraded), "infeasible": int64(r.Infeasible),
+	}
+}
+
+// TestQoEVerdictsOrderByProfile checks the sweep reproduces the paper's
+// qualitative result: QoE strictly worsens as the access link degrades from
+// wifi through lte to transcontinental, with wifi mostly healthy and
+// transcontinental mostly infeasible through a relay.
+func TestQoEVerdictsOrderByProfile(t *testing.T) {
+	results, _, err := Sweep(SweepConfig{
+		Model:    Model{Sessions: 96, Drivers: 8, Seed: 3},
+		Profiles: []string{"wifi", "lte", "transcontinental"},
+		Shards:   8,
+		Warmup:   400 * time.Millisecond,
+		Measure:  800 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wifi, lte, tc := results[0], results[1], results[2]
+	if wifi.Healthy < wifi.Sessions*9/10 {
+		t.Errorf("wifi: only %d/%d healthy", wifi.Healthy, wifi.Sessions)
+	}
+	if lte.Healthy >= wifi.Healthy && lte.Sessions == wifi.Sessions {
+		t.Errorf("lte (%d healthy) should be worse than wifi (%d healthy)", lte.Healthy, wifi.Healthy)
+	}
+	if tc.Infeasible < tc.Sessions*9/10 {
+		t.Errorf("transcontinental: only %d/%d infeasible, want ~all (relayed path past the cliff)", tc.Infeasible, tc.Sessions)
+	}
+}
+
+// TestReplayDeterministic captures a small run client-side, replays the
+// trace twice, and requires the two replays to agree bit-for-bit — the
+// capture/replay half of the RKCP story.
+func TestReplayDeterministic(t *testing.T) {
+	rec := capture.NewRecorder(1<<17, 1<<24)
+	_, err := Run(RunConfig{
+		Model:   Model{Sessions: 48, Drivers: 6, Seed: 5},
+		Profile: "wifi",
+		Warmup:  200 * time.Millisecond,
+		Measure: 600 * time.Millisecond,
+		Drain:   300 * time.Millisecond,
+		Capture: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("capture recorder dropped %d records; raise its budgets", rec.Dropped())
+	}
+	c := rec.Snapshot(capture.Meta{Game: "trafficgen", Profile: "wifi", InputHz: 60})
+	enc := c.Encode()
+	dec, err := capture.Decode(enc)
+	if err != nil {
+		t.Fatalf("captured trace does not round-trip: %v", err)
+	}
+
+	ra, err := Replay(dec, ReplayConfig{Drivers: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Replay(dec, ReplayConfig{Drivers: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, tb := VerdictTable([]*Result{ra}), VerdictTable([]*Result{rb})
+	if ta.String() != tb.String() {
+		t.Errorf("replay verdicts differ across reruns:\n%s\nvs:\n%s", ta.String(), tb.String())
+	}
+	if ra.Sent != rb.Sent || ra.Recv != rb.Recv || ra.Latency.Buckets() != rb.Latency.Buckets() {
+		t.Errorf("replay figures differ: sent %d/%d recv %d/%d", ra.Sent, rb.Sent, ra.Recv, rb.Recv)
+	}
+	if ra.Sent == 0 || ra.Recv == 0 {
+		t.Errorf("replay moved no traffic (sent=%d recv=%d)", ra.Sent, ra.Recv)
+	}
+	if ra.Sessions != 48 {
+		t.Errorf("replay re-admitted %d sessions, trace had 48", ra.Sessions)
+	}
+	if ra.LeakErrs != 0 || ra.IntegrityErrs != 0 || ra.MiswireErrs != 0 {
+		t.Errorf("replay correctness errors: leak=%d integrity=%d miswire=%d",
+			ra.LeakErrs, ra.IntegrityErrs, ra.MiswireErrs)
+	}
+}
+
+// TestConcurrentTapsUnderStorm drives a real-time run with one shared
+// recorder attached as BOTH the client-side capture and the relay tap while
+// a loss storm reshapes half the links mid-run — many goroutines recording
+// into one Recorder. Run under -race this is the capture pipeline's
+// concurrency proof; the assertions check no record was interleaved or
+// corrupted and the recorder held its memory bounds.
+func TestConcurrentTapsUnderStorm(t *testing.T) {
+	const maxRecords, maxBytes = 8192, 1 << 20
+	shared := capture.NewRecorder(maxRecords, maxBytes)
+	r, err := RunReal(RunConfig{
+		Model:    Model{Sessions: 24, Drivers: 6, InputHz: 120, Seed: 13, JoinSpread: 20 * time.Millisecond},
+		Profile:  "wifi",
+		Warmup:   50 * time.Millisecond,
+		Measure:  250 * time.Millisecond,
+		Drain:    100 * time.Millisecond,
+		Capture:  shared,
+		RelayTap: shared,
+		Storm: &Storm{
+			After: 100 * time.Millisecond,
+			For:   100 * time.Millisecond,
+			Link:  netem.Config{Delay: 2 * time.Millisecond, Loss: 0.4, BurstLoss: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sent == 0 {
+		t.Fatal("real-time run sent nothing")
+	}
+	if r.LeakErrs != 0 || r.IntegrityErrs != 0 || r.MiswireErrs != 0 {
+		t.Errorf("relay correctness errors under storm: leak=%d integrity=%d miswire=%d",
+			r.LeakErrs, r.IntegrityErrs, r.MiswireErrs)
+	}
+
+	if shared.Len() == 0 {
+		t.Fatal("shared recorder captured nothing")
+	}
+	if shared.Len() > maxRecords {
+		t.Errorf("recorder exceeded its record bound: %d > %d", shared.Len(), maxRecords)
+	}
+	if shared.BytesUsed() > maxBytes {
+		t.Errorf("recorder exceeded its byte bound: %d > %d", shared.BytesUsed(), maxBytes)
+	}
+	c := shared.Snapshot(capture.Meta{Game: "trafficgen", Profile: "wifi"})
+	// Every record must be internally consistent — a torn write would show
+	// as a header that fails to parse or a site byte that contradicts the
+	// record's site. (Client DirSend records and relay DirRecv records both
+	// carry the sender's site; client DirRecv and relay DirSend carry the
+	// receiver's, whose datagram came from the peer site.)
+	for i := range c.Records {
+		rec := &c.Records[i]
+		if rec.Site > 1 {
+			t.Fatalf("record %d: impossible site %d", i, rec.Site)
+		}
+		if len(rec.Payload) == 0 {
+			continue
+		}
+		if _, _, _, ok := relay.ParseHeader(rec.Payload); !ok {
+			t.Fatalf("record %d: torn payload (unparseable relay header, %d bytes)", i, len(rec.Payload))
+		}
+	}
+	// And the whole capture must survive an encode/decode round trip.
+	if _, err := capture.Decode(c.Encode()); err != nil {
+		t.Fatalf("storm capture does not round-trip: %v", err)
+	}
+	t.Logf("storm run: sent=%d recv=%d records=%d dropped=%d bytes=%d",
+		r.Sent, r.Recv, shared.Len(), shared.Dropped(), shared.BytesUsed())
+}

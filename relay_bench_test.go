@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"testing"
 
+	"retrolock/internal/capture"
 	"retrolock/internal/relay"
 )
 
@@ -26,9 +27,9 @@ func (nullFront) Close() error                         { return nil }
 // site slots bound, returning the tokens and per-session site addresses.
 // Stepping is done manually by the benchmark loop, standing in for the shard
 // loops.
-func benchRelayDaemon(b *testing.B, shards, nSessions int) (*relay.Daemon, []relay.Token, [][2]relay.Addr) {
+func benchRelayDaemon(b *testing.B, shards, nSessions int, tap *capture.Recorder) (*relay.Daemon, []relay.Token, [][2]relay.Addr) {
 	b.Helper()
-	d, err := relay.NewDaemon(relay.Config{Shards: shards, MaxSessions: nSessions}, []relay.Front{nullFront{}})
+	d, err := relay.NewDaemon(relay.Config{Shards: shards, MaxSessions: nSessions, Tap: tap}, []relay.Front{nullFront{}})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func stampRelayBatch(ms []relay.Message, toks []relay.Token, addrs [][2]relay.Ad
 // capacity claim rests on.
 func BenchmarkRelayDemux(b *testing.B) {
 	const batch = 64
-	d, toks, addrs := benchRelayDaemon(b, 8, 256)
+	d, toks, addrs := benchRelayDaemon(b, 8, 256, nil)
 	defer d.Close()
 	ms := benchRelayBatch(batch)
 	shards := d.Shards()
@@ -118,7 +119,32 @@ func BenchmarkRelayDemux(b *testing.B) {
 // 64-datagram queue — the event-loop body without the demux in front of it.
 func BenchmarkRelayShardStep(b *testing.B) {
 	const batch = 64
-	d, toks, addrs := benchRelayDaemon(b, 1, 64)
+	d, toks, addrs := benchRelayDaemon(b, 1, 64, nil)
+	defer d.Close()
+	ms := benchRelayBatch(batch)
+	sh := d.Shards()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n, round := 0, 0; n < b.N; n, round = n+batch, round+1 {
+		b.StopTimer()
+		stampRelayBatch(ms, toks, addrs, round)
+		d.Route(ms, batch)
+		b.StartTimer()
+		sh.Step()
+	}
+}
+
+// BenchmarkRelayShardStepCaptured is BenchmarkRelayShardStep with an RKCP
+// capture tap on the shard — the -capture relayd configuration. The tap
+// records both the ingest and the forward of every datagram (two Record
+// calls per relayed packet); the delta against the untapped benchmark is
+// the full price of leaving capture on in production.
+func BenchmarkRelayShardStepCaptured(b *testing.B) {
+	const batch = 64
+	// Sized like relayd's -capture tap; once the arena fills, recording
+	// degrades to counted drops and the cost only goes down.
+	tap := capture.NewRecorder(1<<16, 1<<24)
+	d, toks, addrs := benchRelayDaemon(b, 1, 64, tap)
 	defer d.Close()
 	ms := benchRelayBatch(batch)
 	sh := d.Shards()[0]
