@@ -26,10 +26,15 @@ chaos:
 # The relayd hosting soak: RELAY_SESSIONS two-site sessions multiplexed
 # over a sharded virtual-time relay daemon while the phase controller
 # cycles clean → burst-loss → partition → heal (see
-# internal/relay/soak_test.go for the invariants it enforces).
+# internal/relay/soak_test.go for the invariants it enforces, including
+# per-session fleet verdicts and the single anomaly .rkcp bundle, written
+# into RELAY_CAPTURE_DIR for CI to upload on failure).
 RELAY_SESSIONS ?= 10000
+RELAY_CAPTURE_DIR ?= relay-captures
 relay-soak:
-	$(GO) test ./internal/relay/ -run 'TestRelaySoak' -count 1 \
+	mkdir -p $(RELAY_CAPTURE_DIR)
+	RETROLOCK_RELAY_CAPTURE_DIR=$(RELAY_CAPTURE_DIR) \
+		$(GO) test ./internal/relay/ -run 'TestRelaySoak' -count 1 \
 		-relay.sessions $(RELAY_SESSIONS) -v
 
 # Wire-format and toolchain fuzzers (coverage-guided; seeds always run
@@ -55,7 +60,7 @@ bench-hotpath:
 # savestate/digest paths, and the relayd packet path — rendered into the
 # machine-readable $(BENCH_JSON) via cmd/benchjson. CI runs this and
 # uploads the JSON as an artifact.
-BENCH_JSON ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR9.json
 bench:
 	$(GO) test -run NONE -bench 'SyncHotPath|FrameLoop|SyncInputNoWait|StateHashIncremental|SavestateDelta|RelayDemux|RelayShardStep' -benchmem . \
 		| $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
@@ -64,7 +69,7 @@ bench:
 # checked-in baseline with cmd/benchcmp. Fails on a >15% ns/op regression
 # or any allocs/op growth on a gated benchmark — and on a gated benchmark
 # disappearing from the fresh run.
-BENCH_BASELINE ?= BENCH_PR8.json
+BENCH_BASELINE ?= BENCH_PR9.json
 bench-gate:
 	$(MAKE) bench BENCH_JSON=BENCH_NEW.json
 	$(GO) run ./cmd/benchcmp $(BENCH_BASELINE) BENCH_NEW.json

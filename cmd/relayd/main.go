@@ -1,13 +1,16 @@
 // Command relayd hosts thousands of concurrent two-site sessions in one
 // process: an embedded lobby admits pairs and hands them a token plus a
 // relay front address; token-prefixed game datagrams are then demuxed onto
-// shared-nothing shard loops and forwarded between the two sites.
+// shared-nothing shard loops and forwarded between the two sites. Every
+// hosted session is individually graded through the fleet aggregator
+// (healthy/degraded/infeasible), served on /sessions when -obs is set.
 //
-//	relayd -listen :7300 -lobby :7200 -shards 8 -obs :6060
+//	relayd -listen :7300 -lobby :7200 -shards 8 -obs :6060 -autocapture /var/tmp/relayd
 //
 // Clients rendezvous exactly as against lobbyd; the only difference is the
-// RELAY reply. See DESIGN.md ("relayd") for the shard model and README.md
-// for a two-client quickstart.
+// RELAY reply. See DESIGN.md ("relayd", "Fleet observability") for the
+// shard and grading model and README.md for a two-client quickstart plus
+// the degraded-session runbook.
 package main
 
 import (
@@ -17,7 +20,9 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
+	"sync"
 	"syscall"
 	"time"
 
@@ -27,19 +32,78 @@ import (
 	"retrolock/internal/relay"
 )
 
+var (
+	listen      = flag.String("listen", ":7300", "base UDP address for relay fronts (port 0 = ephemeral; otherwise front i binds port+i)")
+	fronts      = flag.Int("fronts", 1, "number of UDP sockets to spread shard traffic over")
+	lobbyAddr   = flag.String("lobby", ":7200", "UDP address for the embedded admission lobby")
+	shards      = flag.Int("shards", 8, "shared-nothing event loops")
+	maxSessions = flag.Int("max-sessions", 4096, "session budget per shard")
+	ttl         = flag.Duration("ttl", 2*time.Minute, "idle session expiry (relay side)")
+	lobbyTTL    = flag.Duration("lobby-ttl", 10*time.Minute, "idle session expiry (lobby side)")
+	advertise   = flag.String("advertise", "", "front address to hand to clients (default: the bound address)")
+	obsAddr     = flag.String("obs", "", "serve metrics/healthz/sessions/pprof on this HTTP address (e.g. :6060)")
+	capturePath = flag.String("capture", "", "write an RKCP capture of relayed traffic to this file on shutdown (bounded in-memory tap)")
+	topK        = flag.Int("topk", 16, "worst-sessions rows kept on the /sessions ops surface")
+	gradeEvery  = flag.Duration("grade-window", time.Second, "per-session QoE grading window")
+	gradeTarget = flag.Duration("grade-target", defaultGradeTarget, "nominal per-site inter-datagram gap the grader treats as healthy")
+	autoCapture = flag.String("autocapture", "", "directory for anomaly .rkcp bundles snapshotted when a session degrades (empty: grade without capturing)")
+)
+
+// defaultGradeTarget is two 60 FPS frame intervals: clients coalesce
+// unchanged inputs, so a healthy session's per-site relay cadence averages
+// under one datagram per frame — grading against the raw 16.67 ms frame
+// target flags clean sessions as degraded.
+const defaultGradeTarget = 2 * 16670 * time.Microsecond
+
+// fleetParams returns the -topk / -grade-window / -grade-target settings,
+// clamping nonsense values back to the documented defaults.
+func fleetParams() (k int, window, target time.Duration) {
+	k, window, target = *topK, *gradeEvery, *gradeTarget
+	if k <= 0 {
+		k = 16
+	}
+	if window <= 0 {
+		window = time.Second
+	}
+	if target <= 0 {
+		target = defaultGradeTarget
+	}
+	return k, window, target
+}
+
+// newFlusher wraps the shutdown evidence flush so it runs exactly once no
+// matter which path gets there first. Both the signal handler and the normal
+// exit path call it: relying on srv.Serve unwinding cleanly after a SIGTERM
+// lost the -capture snapshot whenever shutdown stalled past the operator's
+// patience — the signal path now flushes directly.
+func newFlusher(f func()) func() {
+	var once sync.Once
+	return func() { once.Do(f) }
+}
+
+// writeTap snapshots the whole-daemon capture tap to -capture's path.
+func writeTap(tap *capture.Recorder, path string) error {
+	c := tap.Snapshot(capture.Meta{Notes: "relayd -capture tap"})
+	if err := os.WriteFile(path, c.Encode(), 0o644); err != nil {
+		return err
+	}
+	log.Printf("capture: wrote %d datagrams (%d dropped) to %s", len(c.Records), c.Meta.Dropped, path)
+	return nil
+}
+
+// writeBundle writes one anomaly capture into the -autocapture directory as
+// anomaly-<token>-<verdict>.rkcp and returns the path.
+func writeBundle(dir string, ac relay.AnomalyCapture) (string, error) {
+	path := filepath.Join(dir, fmt.Sprintf("anomaly-%s-%s.rkcp", ac.Token, ac.State))
+	if err := os.WriteFile(path, ac.Capture.Encode(), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("relayd: ")
-	listen := flag.String("listen", ":7300", "base UDP address for relay fronts (port 0 = ephemeral; otherwise front i binds port+i)")
-	fronts := flag.Int("fronts", 1, "number of UDP sockets to spread shard traffic over")
-	lobbyAddr := flag.String("lobby", ":7200", "UDP address for the embedded admission lobby")
-	shards := flag.Int("shards", 8, "shared-nothing event loops")
-	maxSessions := flag.Int("max-sessions", 4096, "session budget per shard")
-	ttl := flag.Duration("ttl", 2*time.Minute, "idle session expiry (relay side)")
-	lobbyTTL := flag.Duration("lobby-ttl", 10*time.Minute, "idle session expiry (lobby side)")
-	advertise := flag.String("advertise", "", "front address to hand to clients (default: the bound address)")
-	obsAddr := flag.String("obs", "", "serve metrics/healthz/pprof on this HTTP address (e.g. :6060)")
-	capturePath := flag.String("capture", "", "write an RKCP capture of relayed traffic to this file on shutdown (bounded in-memory tap)")
 	flag.Parse()
 
 	var tap *capture.Recorder
@@ -52,12 +116,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	d, err := relay.NewDaemon(relay.Config{
+	cfg := relay.Config{
 		Shards:      *shards,
 		MaxSessions: *maxSessions,
 		SessionTTL:  *ttl,
 		Tap:         tap,
-	}, fs)
+		Stats:       true, // fleet grading is always on; it costs no allocations
+	}
+	if *autoCapture != "" {
+		if err := os.MkdirAll(*autoCapture, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		// Per-session anomaly rings only when somewhere to write bundles.
+		cfg.AutoCaptureRecords = 64
+		cfg.AutoCaptureBytes = 8 << 10
+	}
+	d, err := relay.NewDaemon(cfg, fs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,6 +143,30 @@ func main() {
 		}
 		log.Printf("front %s (%s)", f.LocalAddr(), mode)
 	}
+
+	k, window, target := fleetParams()
+	fcfg := relay.FleetConfig{
+		TopK:   k,
+		Window: window,
+		Health: obs.HealthConfig{FrameTarget: target},
+	}
+	if dir := *autoCapture; dir != "" {
+		fcfg.OnCapture = func(ac relay.AnomalyCapture) {
+			path, err := writeBundle(dir, ac)
+			if err != nil {
+				log.Printf("autocapture: %v", err)
+				return
+			}
+			log.Printf("autocapture: session %s graded %s, wrote %s (%d datagrams)",
+				ac.Token, ac.State, path, len(ac.Capture.Records))
+		}
+	}
+	fl, err := relay.NewFleet(d, fcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fl.Start()
+	log.Printf("fleet grading every %v (top-%d ops surface)", window, k)
 
 	srv, err := lobby.ListenConfig(*lobbyAddr, lobby.Config{
 		TTL:    *lobbyTTL,
@@ -83,6 +181,7 @@ func main() {
 		reg := obs.NewRegistry()
 		relay.RegisterMetrics(reg, d)
 		lobby.RegisterMetrics(reg, srv)
+		fl.Register(reg)
 		// Grade shard step pacing on the health engine: a relay whose event
 		// loops fall behind frame cadence is infeasible for every session
 		// it hosts.
@@ -98,8 +197,23 @@ func main() {
 			log.Fatal(err)
 		}
 		defer osrv.Close()
-		log.Printf("observability on http://%s/ (metrics, healthz, pprof)", osrv.Addr())
+		log.Printf("observability on http://%s/ (metrics, healthz, sessions, pprof)", osrv.Addr())
 	}
+
+	// The evidence flush: deferred anomaly bundles first (the rate limiter
+	// may be sitting on a degraded session's capture), then the whole-tap
+	// snapshot. Idempotent — both shutdown paths below call it.
+	flush := newFlusher(func() {
+		if n := fl.FlushPending(time.Now()); n > 0 {
+			log.Printf("autocapture: flushed %d deferred anomaly bundles", n)
+		}
+		fl.Close()
+		if tap != nil {
+			if err := writeTap(tap, *capturePath); err != nil {
+				log.Printf("capture: %v", err)
+			}
+		}
+	})
 
 	go func() {
 		sigs := make(chan os.Signal, 1)
@@ -108,18 +222,11 @@ func main() {
 		log.Print("shutting down")
 		_ = srv.Close()
 		d.Close()
+		flush()
 	}()
 	serveErr := srv.Serve()
 	d.Close()
-	if tap != nil {
-		c := tap.Snapshot(capture.Meta{Notes: "relayd -capture tap"})
-		if err := os.WriteFile(*capturePath, c.Encode(), 0o644); err != nil {
-			log.Printf("capture: %v", err)
-		} else {
-			log.Printf("capture: wrote %d datagrams (%d dropped) to %s",
-				len(c.Records), c.Meta.Dropped, *capturePath)
-		}
-	}
+	flush()
 	if serveErr != nil {
 		log.Fatal(serveErr)
 	}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"retrolock/internal/capture"
+	"retrolock/internal/obs"
+	"retrolock/internal/relay"
+)
+
+// TestRelaydFleetParams pins the -topk/-grade-window/-grade-target
+// plumbing: documented defaults, flag overrides, and the clamp that sends
+// nonsense values back to the defaults (mirrors cmd/experiment's relayload
+// params test).
+func TestRelaydFleetParams(t *testing.T) {
+	setFlags := func(topk, window, target string) {
+		t.Helper()
+		for flagName, v := range map[string]string{
+			"topk": topk, "grade-window": window, "grade-target": target,
+		} {
+			if err := flag.Set(flagName, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	defer setFlags("16", "1s", defaultGradeTarget.String())
+
+	cases := []struct {
+		name                 string
+		topk, window, target string
+		wantK                int
+		wantWindow, wantTgt  time.Duration
+	}{
+		{"defaults", "16", "1s", "33.34ms", 16, time.Second, defaultGradeTarget},
+		{"override", "32", "250ms", "50ms", 32, 250 * time.Millisecond, 50 * time.Millisecond},
+		{"zero clamps", "0", "0s", "0s", 16, time.Second, defaultGradeTarget},
+		{"negative clamps", "-4", "-2s", "-1ms", 16, time.Second, defaultGradeTarget},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			setFlags(tc.topk, tc.window, tc.target)
+			k, window, target := fleetParams()
+			if k != tc.wantK || window != tc.wantWindow || target != tc.wantTgt {
+				t.Errorf("fleetParams() = (%d, %v, %v), want (%d, %v, %v)",
+					k, window, target, tc.wantK, tc.wantWindow, tc.wantTgt)
+			}
+		})
+	}
+}
+
+// TestFlusherRunsOnce pins the shutdown-flush contract: however many paths
+// race into it — the signal handler, the normal exit, both at once — the
+// evidence flush body runs exactly once.
+func TestFlusherRunsOnce(t *testing.T) {
+	var runs atomic.Int32
+	flush := newFlusher(func() { runs.Add(1) })
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); flush() }()
+	}
+	wg.Wait()
+	flush()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("flush body ran %d times, want exactly 1", got)
+	}
+}
+
+// TestSignalPathFlushesCapture is the regression test for the lost -capture
+// snapshot: the signal handler used to rely on srv.Serve unwinding to reach
+// the tap flush, so a stalled shutdown lost the evidence. Now the signal
+// path calls the same idempotent flusher the exit path does — simulate both
+// firing and assert the tap snapshot landed on disk intact, once.
+func TestSignalPathFlushesCapture(t *testing.T) {
+	tap := capture.NewRecorder(16, 1<<10)
+	tok := relay.MakeToken(3, 7, 0xbeef)
+	buf := make([]byte, relay.HeaderLen+4)
+	n := relay.PutHeader(buf, tok, 1)
+	tap.Record(time.Unix(100, 0), capture.DirRecv, 1, buf[:n+4])
+
+	path := filepath.Join(t.TempDir(), "shutdown.rkcp")
+	var writes atomic.Int32
+	flush := newFlusher(func() {
+		writes.Add(1)
+		if err := writeTap(tap, path); err != nil {
+			t.Errorf("writeTap: %v", err)
+		}
+	})
+	flush() // signal path
+	flush() // normal exit path, racing behind it
+	if got := writes.Load(); got != 1 {
+		t.Fatalf("tap flushed %d times, want 1", got)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("capture file after signal flush: %v", err)
+	}
+	c, err := capture.Decode(data)
+	if err != nil {
+		t.Fatalf("capture file does not decode: %v", err)
+	}
+	if len(c.Records) != 1 {
+		t.Fatalf("flushed capture holds %d records, want 1", len(c.Records))
+	}
+	got, _, _, ok := relay.ParseHeader(c.Records[0].Payload)
+	if !ok || got != tok {
+		t.Fatalf("flushed record does not demux to the recorded session: token=%v ok=%v", got, ok)
+	}
+}
+
+// TestWriteBundle pins the -autocapture file contract: the bundle lands as
+// anomaly-<token>-<verdict>.rkcp and decodes back to the session it names.
+func TestWriteBundle(t *testing.T) {
+	dir := t.TempDir()
+	tok := relay.MakeToken(5, 9, 0xcafe)
+	buf := make([]byte, relay.HeaderLen)
+	relay.PutHeader(buf, tok, 0)
+	ac := relay.AnomalyCapture{
+		Token: tok,
+		State: obs.Degraded,
+		Capture: &capture.Capture{
+			Meta:    capture.Meta{Version: capture.Version, Session: tok.String(), Verdict: "degraded"},
+			Records: []capture.Record{{Dir: capture.DirRecv, Payload: buf}},
+		},
+	}
+	path, err := writeBundle(dir, ac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := filepath.Join(dir, "anomaly-"+tok.String()+"-degraded.rkcp")
+	if path != want {
+		t.Errorf("bundle path = %q, want %q", path, want)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := capture.Decode(data)
+	if err != nil {
+		t.Fatalf("bundle does not decode: %v", err)
+	}
+	if c.Meta.Session != tok.String() || c.Meta.Verdict != "degraded" {
+		t.Errorf("bundle meta = (%q, %q), want (%q, degraded)", c.Meta.Session, c.Meta.Verdict, tok)
+	}
+}

@@ -11,6 +11,12 @@
 //
 //	-interval  poll period (default 1s); quantiles are windowed per poll
 //	-once      print a single snapshot and exit (no screen clearing)
+//	-fleet     poll a relayd ops surface instead of per-site session panels
+//
+// Fleet mode points at a relayd -obs endpoint and renders the aggregator's
+// verdict census plus its top-K-worst session table:
+//
+//	retrotop -fleet http://relayhost:6060
 package main
 
 import (
@@ -21,11 +27,14 @@ import (
 	"os"
 	"strings"
 	"time"
+
+	"retrolock/internal/relay"
 )
 
 var (
 	interval = flag.Duration("interval", time.Second, "poll period")
 	once     = flag.Bool("once", false, "print one snapshot and exit")
+	fleet    = flag.Bool("fleet", false, "poll a relayd fleet ops surface (/sessions)")
 )
 
 // healthz mirrors obs.HealthSignals' JSON shape.
@@ -74,7 +83,11 @@ func main() {
 		}
 		fmt.Fprintf(&out, "retrotop  %s  every %v\n", time.Now().Format("15:04:05"), *interval)
 		for _, s := range sites {
-			renderSite(&out, client, s)
+			if *fleet {
+				renderFleet(&out, client, s)
+			} else {
+				renderSite(&out, client, s)
+			}
 		}
 		os.Stdout.WriteString(out.String())
 		if *once {
@@ -87,6 +100,38 @@ func main() {
 		}
 		time.Sleep(*interval)
 	}
+}
+
+// renderFleet scrapes a relayd /sessions surface and appends the fleet
+// panel: the verdict census plus the aggregator's top-K-worst table, in the
+// same fixed-width layout relayd serves as text.
+func renderFleet(out *strings.Builder, client *http.Client, s *site) {
+	fmt.Fprintf(out, "\n%s\n", s.base)
+	snap, err := fetchFleet(client, s.base+"/sessions?format=json")
+	s.lastErr = err
+	if err != nil {
+		fmt.Fprintf(out, "  unreachable: %v\n", err)
+		return
+	}
+	for _, line := range strings.Split(strings.TrimRight(relay.RenderTable(snap), "\n"), "\n") {
+		fmt.Fprintf(out, "  %s\n", line)
+	}
+}
+
+func fetchFleet(client *http.Client, url string) (*relay.FleetSnapshot, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var snap relay.FleetSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
 }
 
 // renderSite scrapes one endpoint and appends its panel.

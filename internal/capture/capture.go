@@ -89,6 +89,13 @@ type Meta struct {
 	// recorder knew them (netem.Config is plain data and JSON-stable).
 	Fwd *netem.Config `json:"fwd,omitempty"`
 	Rev *netem.Config `json:"rev,omitempty"`
+	// Session identifies the relayed session the traffic belongs to (the
+	// relay token in hex) when the tap is per-session, e.g. an
+	// anomaly-triggered relay bundle; empty for whole-tap captures.
+	Session string `json:"session,omitempty"`
+	// Verdict is the health verdict that triggered an anomaly capture
+	// ("degraded", "infeasible"); empty for captures taken on demand.
+	Verdict string `json:"verdict,omitempty"`
 	// Notes is free-form provenance ("harness run seed 7", "relayd tap").
 	Notes string `json:"notes,omitempty"`
 	// Dropped is how many datagrams the recorder rejected after its budget

@@ -70,6 +70,21 @@ func (h *Histogram) Observe(v int64) {
 // ObserveDuration records a duration in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
 
+// Reset zeroes the histogram so it can be pooled and reused (e.g. the
+// relay's per-session stat blocks). Resetting while writers are observing
+// is not a consistent cut — callers must own the quiescent histogram, the
+// same single-owner discipline pools already require.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
 	if h == nil {

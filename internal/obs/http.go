@@ -40,6 +40,9 @@ func NewMux(r *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/trace", r.TraceHandler())
 	mux.Handle("/debug/flight/dump", r.DumpHandler())
+	for _, e := range r.ExtraHandlers() {
+		mux.Handle(e.Pattern, e.Handler)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
 			http.NotFound(w, req)

@@ -80,6 +80,11 @@ type tracerEntry struct {
 	t    *Tracer
 }
 
+type muxEntry struct {
+	pattern string
+	h       http.Handler
+}
+
 type dumpEntry struct {
 	name string
 	fn   func(io.Writer) error
@@ -97,6 +102,7 @@ type Registry struct {
 	hists   []*histSeries
 	tracers []tracerEntry
 	dumps   []dumpEntry
+	extra   []muxEntry
 	health  *Health
 }
 
@@ -233,6 +239,39 @@ func (r *Registry) DumpHandler() http.Handler {
 		w.Header().Set("Content-Disposition", `attachment; filename="flight.rkfb"`)
 		_ = fn(w)
 	})
+}
+
+// Handle registers an extra HTTP handler that NewMux mounts alongside the
+// standard endpoints (e.g. the relay fleet's /sessions surface). Patterns
+// follow http.ServeMux semantics; registering the same pattern twice panics
+// when the mux is built, so components should pick namespaced paths.
+func (r *Registry) Handle(pattern string, h http.Handler) {
+	if h == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.extra = append(r.extra, muxEntry{pattern: pattern, h: h})
+}
+
+// ExtraHandlers returns the handlers registered via Handle, in order.
+func (r *Registry) ExtraHandlers() []struct {
+	Pattern string
+	Handler http.Handler
+} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]struct {
+		Pattern string
+		Handler http.Handler
+	}, 0, len(r.extra))
+	for _, e := range r.extra {
+		out = append(out, struct {
+			Pattern string
+			Handler http.Handler
+		}{e.pattern, e.h})
+	}
+	return out
 }
 
 // SetHealth attaches a health SLO engine; the registry's mux then serves

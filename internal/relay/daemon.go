@@ -57,6 +57,21 @@ type Config struct {
 	// recorder's budgets fill, so the tap may stay attached under load —
 	// BenchmarkRelayShardStepCaptured gates the cost.
 	Tap *capture.Recorder
+
+	// Stats enables the per-session stat blocks the fleet aggregator and
+	// the /sessions ops surface read: forwarded/parked/dropped counts,
+	// inter-arrival and relay-residence histograms, last-seen and bind
+	// state, updated inline by the shard loops with no cross-shard locks
+	// and no per-datagram allocation (BenchmarkRelayShardStepStats gates
+	// the cost). Blocks are pooled across session churn.
+	Stats bool
+
+	// AutoCaptureRecords / AutoCaptureBytes bound each session's anomaly
+	// flight-recorder ring (most recent accepted datagrams, drop-oldest).
+	// Setting either enables the rings (the other takes its default: 64
+	// records / 8 KiB); both zero disables them. Requires Stats.
+	AutoCaptureRecords int
+	AutoCaptureBytes   int
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +113,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 0x7e7a
+	}
+	if c.AutoCaptureRecords > 0 && c.AutoCaptureBytes <= 0 {
+		c.AutoCaptureBytes = 8 * 1024
+	}
+	if c.AutoCaptureBytes > 0 && c.AutoCaptureRecords <= 0 {
+		c.AutoCaptureRecords = 64
 	}
 	return c
 }
@@ -151,8 +172,12 @@ func NewDaemon(cfg Config, fronts []Front) (*Daemon, error) {
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		StepTime: &obs.Histogram{},
 	}
+	var pool *statsPool
+	if cfg.Stats {
+		pool = newStatsPool(cfg.AutoCaptureRecords, cfg.AutoCaptureBytes)
+	}
 	for i := 0; i < cfg.Shards; i++ {
-		d.shards = append(d.shards, newShard(i, fronts[i%len(fronts)], cfg))
+		d.shards = append(d.shards, newShard(i, fronts[i%len(fronts)], cfg, pool))
 	}
 	return d, nil
 }
@@ -228,6 +253,13 @@ func (d *Daemon) shardOf(tok Token) (*Shard, bool) {
 // pool); on reject the buffer stays with the reader for reuse. Exported for
 // custom front integrations and the packet-path benchmarks.
 func (d *Daemon) Route(ms []Message, n int) {
+	// One clock read per batch, not per datagram: the residence series
+	// only needs batch granularity, and the virtual clock's Now takes a
+	// mutex the packet path must not contend on per packet.
+	var at int64
+	if d.cfg.Stats && n > 0 {
+		at = d.cfg.Clock.Now().UnixNano()
+	}
 	for i := 0; i < n; i++ {
 		if len(ms[i].Buf) < HeaderLen {
 			d.rejRunt.Inc()
@@ -239,6 +271,7 @@ func (d *Daemon) Route(ms []Message, n int) {
 			d.rejRoute.Inc()
 			continue
 		}
+		ms[i].At = at
 		d.shards[idx].push(ms[i])
 		ms[i].Buf = getBuf() // replace the buffer we just handed over
 	}

@@ -1,0 +1,186 @@
+package relay
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"retrolock/internal/obs"
+)
+
+// The fleet's ops surface:
+//
+//	GET /sessions          fleet summary + verdict counts + top-K-worst
+//	                       table (text; ?format=json for the raw snapshot)
+//	GET /sessions/<token>  one session's grading detail (JSON)
+//
+// plus the retrolock_relay_session_* registry series. Everything reads the
+// last completed tick's snapshot or the fleet's own map — never the shards.
+
+// Fleet metric names.
+const (
+	MetricSessionTracked    = "retrolock_relay_session_tracked"
+	MetricSessionVerdicts   = "retrolock_relay_session_verdicts"
+	MetricSessionGraded     = "retrolock_relay_session_graded_total"
+	MetricSessionFlips      = "retrolock_relay_session_flips_total"
+	MetricSessionCaptures   = "retrolock_relay_session_captures_total"
+	MetricSessionSuppressed = "retrolock_relay_session_captures_suppressed_total"
+)
+
+// Register publishes the fleet's series and mounts the /sessions handlers
+// on the registry's mux.
+func (f *Fleet) Register(r *obs.Registry) {
+	sum := func(read func(FleetSummary) float64) func() float64 {
+		return func() float64 { return read(f.Snapshot().Summary) }
+	}
+	r.GaugeFunc(MetricSessionTracked, nil, "sessions the fleet aggregator grades",
+		sum(func(s FleetSummary) float64 { return float64(s.Tracked) }))
+	verdict := func(state string, read func(FleetSummary) float64) {
+		r.GaugeFunc(MetricSessionVerdicts, obs.Labels{"state": state},
+			"sessions per health verdict at the last tick", sum(read))
+	}
+	verdict("healthy", func(s FleetSummary) float64 { return float64(s.Healthy) })
+	verdict("degraded", func(s FleetSummary) float64 { return float64(s.Degraded) })
+	verdict("infeasible", func(s FleetSummary) float64 { return float64(s.Infeasible) })
+	r.GaugeFunc(MetricSessionVerdicts, obs.Labels{"state": "stalled"},
+		"sessions with no traffic past the stall threshold (also counted infeasible)",
+		sum(func(s FleetSummary) float64 { return float64(s.Stalled) }))
+	r.CounterFunc(MetricSessionGraded, nil, "per-session health windows evaluated",
+		sum(func(s FleetSummary) float64 { return float64(s.Graded) }))
+	r.CounterFunc(MetricSessionFlips, nil, "session transitions into degraded or infeasible",
+		sum(func(s FleetSummary) float64 { return float64(s.Flips) }))
+	r.CounterFunc(MetricSessionCaptures, nil, "anomaly .rkcp bundles emitted",
+		sum(func(s FleetSummary) float64 { return float64(s.Captures) }))
+	r.CounterFunc(MetricSessionSuppressed, nil, "anomaly captures suppressed by rate or lifetime limits",
+		sum(func(s FleetSummary) float64 { return float64(s.Suppressed) }))
+	r.Handle("/sessions", f.SessionsHandler())
+	r.Handle("/sessions/", f.SessionDetailHandler())
+}
+
+// ms renders nanoseconds as fixed-point milliseconds for the text table.
+func ms(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e6, 'f', 1, 64)
+}
+
+// RenderTable renders the snapshot's summary and top-K table as the fixed-
+// width text /sessions serves (exported for retrotop's fleet mode tests).
+func RenderTable(snap *FleetSnapshot) string {
+	var b strings.Builder
+	s := snap.Summary
+	fmt.Fprintf(&b, "fleet: %d tracked  %d healthy  %d degraded  %d infeasible  (%d stalled)  window %s\n",
+		s.Tracked, s.Healthy, s.Degraded, s.Infeasible, s.Stalled, snap.Window)
+	fmt.Fprintf(&b, "lifetime: %d windows graded  %d flips  %d captures (%d suppressed)\n",
+		s.Graded, s.Flips, s.Captures, s.Suppressed)
+	if len(snap.Top) == 0 {
+		b.WriteString("no unhealthy sessions\n")
+		return b.String()
+	}
+	t := obs.Table{Header: []string{
+		"token", "shard", "verdict", "since-seen-ms", "gap-mean-ms",
+		"resid-p50-ms", "in", "fwd", "parked", "dropped", "bound", "flips",
+	}}
+	for _, e := range snap.Top {
+		verdict := e.Verdict
+		if e.Stalled {
+			verdict += "(stall)"
+		}
+		t.AddRow(e.Token, strconv.Itoa(e.Shard), verdict,
+			ms(e.SinceSeenNs), ms(e.GapMeanNs), ms(e.ResidP50Ns),
+			strconv.FormatInt(e.In, 10), strconv.FormatInt(e.Forwarded, 10),
+			strconv.FormatInt(e.Parked, 10), strconv.FormatInt(e.Dropped, 10),
+			e.Bound, strconv.FormatInt(e.Flips, 10))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// SessionsHandler serves the fleet summary and top-K table.
+func (f *Fleet) SessionsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := f.Snapshot()
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(RenderTable(snap)))
+	})
+}
+
+// SessionDetail is one session's grading state for the detail endpoint.
+type SessionDetail struct {
+	Token       string            `json:"token"`
+	Shard       int               `json:"shard"`
+	Verdict     string            `json:"verdict"`
+	Stalled     bool              `json:"stalled"`
+	Signals     obs.HealthSignals `json:"signals"`
+	SinceSeenNs int64             `json:"since_seen_ns"`
+	In          [2]int64          `json:"in"`
+	Forwarded   int64             `json:"forwarded"`
+	Parked      int64             `json:"parked"`
+	Dropped     int64             `json:"dropped"`
+	Bound       string            `json:"bound"`
+	Flips       int64             `json:"flips"`
+	Captured    bool              `json:"captured"`
+}
+
+// Detail returns one tracked session's grading state.
+func (f *Fleet) Detail(tok Token) (SessionDetail, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fs, ok := f.sessions[tok]
+	if !ok {
+		return SessionDetail{}, false
+	}
+	d := SessionDetail{
+		Token:    fs.token.String(),
+		Shard:    fs.shard,
+		Verdict:  fs.verdict.String(),
+		Stalled:  fs.stalled,
+		Signals:  fs.health.Signals(),
+		Flips:    fs.flips,
+		Captured: fs.captured,
+	}
+	ref := statRef{token: fs.token, stats: fs.stats, gen: fs.gen}
+	if ref.valid() {
+		st := fs.stats
+		d.SinceSeenNs = f.clock.Now().UnixNano() - st.lastSeenNs.Load()
+		d.In = [2]int64{st.in[0].Load(), st.in[1].Load()}
+		d.Forwarded = st.fwd.Load()
+		d.Parked = st.parked.Load()
+		d.Dropped = st.dropped.Load()
+		mask := st.boundMask.Load()
+		bound := [2]byte{'-', '-'}
+		if mask&1 != 0 {
+			bound[0] = 'A'
+		}
+		if mask&2 != 0 {
+			bound[1] = 'B'
+		}
+		d.Bound = string(bound[:])
+	}
+	return d, true
+}
+
+// SessionDetailHandler serves GET /sessions/<token> as JSON.
+func (f *Fleet) SessionDetailHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		raw := strings.TrimPrefix(req.URL.Path, "/sessions/")
+		tok, err := ParseToken(raw)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad session token %q: %v", raw, err), http.StatusBadRequest)
+			return
+		}
+		d, ok := f.Detail(tok)
+		if !ok {
+			http.Error(w, fmt.Sprintf("session %s not tracked (departed, or the fleet has not ticked yet)", tok),
+				http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(d)
+	})
+}

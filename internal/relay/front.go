@@ -34,6 +34,11 @@ func (a Addr) String() string {
 type Message struct {
 	Buf  []byte
 	Addr Addr
+	// At is the receive instant in Unix ns, stamped once per batch by
+	// Route when per-session stats are enabled (0 otherwise). The shard
+	// reads it at ingest to measure relay residence — how long the
+	// datagram sat in the inbound queue.
+	At int64
 }
 
 // Front is one socket of the daemon, real or simulated. Implementations are

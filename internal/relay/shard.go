@@ -24,6 +24,7 @@ type hosted struct {
 	slots    [2]slot
 	pending  [2]*pendingRing // datagrams addressed to a still-unbound site
 	lastSeen time.Time
+	stats    *sessStats // nil unless Config.Stats
 }
 
 // ctlKind enumerates control-plane operations applied between packet
@@ -65,6 +66,14 @@ type Shard struct {
 	outBatch  []Message
 	lastSweep time.Time
 
+	// Per-session observability (Config.Stats): the shared block pool, the
+	// published table snapshot the fleet aggregator reads, and the
+	// loop-owned dirty flag that triggers a republish after membership
+	// churn.
+	sPool      *statsPool
+	table      atomic.Pointer[[]statRef]
+	tableDirty bool
+
 	// Counters are atomics (obs.Counter) so obsadapt closures and tests can
 	// read them while the loop runs.
 	active          atomic.Int64
@@ -84,7 +93,7 @@ type Shard struct {
 	queuePeak       atomic.Int64 // inbound-queue high-water mark
 }
 
-func newShard(idx int, out Front, cfg Config) *Shard {
+func newShard(idx int, out Front, cfg Config, pool *statsPool) *Shard {
 	return &Shard{
 		idx:      idx,
 		out:      out,
@@ -95,6 +104,7 @@ func newShard(idx int, out Front, cfg Config) *Shard {
 		inq:      make([]Message, 0, cfg.QueueLen),
 		inqSwap:  make([]Message, 0, cfg.QueueLen),
 		outBatch: make([]Message, 0, cfg.QueueLen),
+		sPool:    pool,
 	}
 }
 
@@ -145,6 +155,10 @@ func (s *Shard) ring() {
 // test standing in for it).
 func (s *Shard) Step() int {
 	now := s.clock.Now()
+	var nowNs int64
+	if s.sPool != nil {
+		nowNs = now.UnixNano()
+	}
 
 	s.mu.Lock()
 	s.inq, s.inqSwap = s.inqSwap[:0], s.inq
@@ -159,13 +173,17 @@ func (s *Shard) Step() int {
 		s.applyCtl(op, now)
 	}
 	for i := range s.inqSwap {
-		s.ingest(&s.inqSwap[i], now)
+		s.ingest(&s.inqSwap[i], now, nowNs)
 	}
 	n := len(s.inqSwap)
 	s.flush()
 	if s.cfg.SweepEvery > 0 && now.Sub(s.lastSweep) >= s.cfg.SweepEvery {
 		s.sweep(now)
 		s.lastSweep = now
+	}
+	if s.tableDirty {
+		s.publishTable()
+		s.tableDirty = false
 	}
 	return n
 }
@@ -182,6 +200,11 @@ func (s *Shard) applyCtl(op ctlOp, now time.Time) {
 		h := &hosted{token: op.token, lastSeen: now}
 		h.pending[0] = newPendingRing(s.cfg.PendingSlots, s.cfg.PendingBytes)
 		h.pending[1] = newPendingRing(s.cfg.PendingSlots, s.cfg.PendingBytes)
+		if s.sPool != nil {
+			h.stats = s.sPool.get()
+			h.stats.lastSeenNs.Store(now.UnixNano())
+			s.tableDirty = true
+		}
 		s.sessions[op.token] = h
 		s.sessionsTotal.Inc()
 	case ctlRebind:
@@ -191,6 +214,10 @@ func (s *Shard) applyCtl(op ctlOp, now time.Time) {
 		}
 		h.slots[op.site] = slot{addr: op.addr, bound: true}
 		h.lastSeen = now
+		if st := h.stats; st != nil {
+			st.boundMask.Store(st.boundMask.Load() | 1<<uint(op.site))
+			st.lastSeenNs.Store(now.UnixNano())
+		}
 		// The site's return path moved: anything parked for it can fly now.
 		s.drainPending(h, op.site)
 	case ctlClose:
@@ -201,8 +228,11 @@ func (s *Shard) applyCtl(op ctlOp, now time.Time) {
 // ingest is the per-datagram packet path: validate the prefix, bind or
 // verify the source slot, and forward to (or park for) the peer site.
 // The message's buffer is either moved to the outbound batch, copied into a
-// pending ring, or returned to the pool — never leaked.
-func (s *Shard) ingest(m *Message, now time.Time) {
+// pending ring, or returned to the pool — never leaked. nowNs is now as
+// Unix ns, precomputed by Step when per-session stats are on (0 otherwise);
+// every stat update is an atomic store or a copy into preallocated memory,
+// so the path stays 0 allocs/op with stats and the anomaly ring attached.
+func (s *Shard) ingest(m *Message, now time.Time, nowNs int64) {
 	s.datagramsIn.Inc()
 	token, site, payload, ok := ParseHeader(m.Buf)
 	if !ok {
@@ -227,6 +257,7 @@ func (s *Shard) ingest(m *Message, now time.Time) {
 		putBuf(m.Buf)
 		return
 	}
+	st := h.stats
 	sl := &h.slots[site]
 	switch {
 	case !sl.bound:
@@ -234,6 +265,9 @@ func (s *Shard) ingest(m *Message, now time.Time) {
 		// the relay learns NAT mappings without a handshake) ...
 		sl.addr = m.Addr
 		sl.bound = true
+		if st != nil {
+			st.boundMask.Store(st.boundMask.Load() | 1<<uint(site))
+		}
 		s.drainPending(h, site)
 	case sl.addr != m.Addr:
 		// ... but once bound, the data path must never rebind it: a valid
@@ -245,6 +279,16 @@ func (s *Shard) ingest(m *Message, now time.Time) {
 		return
 	}
 	h.lastSeen = now
+	if st != nil {
+		st.lastSeenNs.Store(nowNs)
+		if m.At > 0 {
+			st.residence.Observe(nowNs - m.At)
+		}
+		// The ring sees every accepted datagram, header included, so a
+		// snapshot decodes back to this session's token and replays
+		// verbatim through a relay.
+		st.ring.Record(now, capture.DirRecv, site, m.Buf)
+	}
 
 	if len(payload) == 0 {
 		// Header-only bind/keepalive (relay.ClientConn sends these until
@@ -258,16 +302,32 @@ func (s *Shard) ingest(m *Message, now time.Time) {
 		return
 	}
 
+	if st != nil {
+		st.in[site].Add(1)
+		if last := st.lastInNs[site]; last != 0 {
+			st.gap.Observe(nowNs - last)
+		}
+		st.lastInNs[site] = nowNs
+	}
+
 	dst := &h.slots[1-site]
 	if !dst.bound {
-		s.dropPending.Add(int64(h.pending[1-site].push(m.Buf)))
+		evicted := int64(h.pending[1-site].push(m.Buf))
+		s.dropPending.Add(evicted)
 		s.queuedPending.Inc()
+		if st != nil {
+			st.parked.Add(1)
+			st.dropped.Add(evicted)
+		}
 		putBuf(m.Buf)
 		return
 	}
 	m.Addr = dst.addr
 	s.outBatch = append(s.outBatch, *m)
 	s.forwarded.Inc()
+	if st != nil {
+		st.fwd.Add(1)
+	}
 	if len(s.outBatch) >= s.cfg.WriteBatch {
 		s.flush()
 	}
@@ -276,11 +336,15 @@ func (s *Shard) ingest(m *Message, now time.Time) {
 // drainPending flushes datagrams parked for site into the outbound batch.
 func (s *Shard) drainPending(h *hosted, site int) {
 	dst := h.slots[site].addr
+	st := h.stats
 	h.pending[site].drain(func(p []byte) {
 		buf := getBuf()
 		buf = append(buf[:0], p...)
 		s.outBatch = append(s.outBatch, Message{Buf: buf, Addr: dst})
 		s.forwarded.Inc()
+		if st != nil {
+			st.fwd.Add(1)
+		}
 	})
 }
 
@@ -330,6 +394,11 @@ func (s *Shard) dropSession(tok Token, counter *obs.Counter) {
 	}
 	h.pending[0].free()
 	h.pending[1].free()
+	if h.stats != nil {
+		s.sPool.put(h.stats)
+		h.stats = nil
+		s.tableDirty = true
+	}
 	delete(s.sessions, tok)
 	s.active.Add(-1)
 	counter.Inc()

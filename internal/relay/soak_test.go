@@ -4,11 +4,16 @@ import (
 	"encoding/binary"
 	"flag"
 	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"retrolock/internal/capture"
 	"retrolock/internal/netem"
+	"retrolock/internal/obs"
 	"retrolock/internal/simnet"
 	"retrolock/internal/vclock"
 )
@@ -66,7 +71,46 @@ func TestRelaySoak10kSessionsUnderChaos(t *testing.T) {
 		SessionTTL:  time.Hour, // the soak asserts zero expiry churn
 		Clock:       v,
 		Seed:        *soakSeed,
+		// Fleet observability on, sized like relayd's -autocapture default.
+		Stats:              true,
+		AutoCaptureRecords: 32,
+		AutoCaptureBytes:   4096,
 	}, fronts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fleet aggregator: grades every session's inter-arrival cadence against
+	// the drivers' send tick. CaptureLimit 1 makes the anomaly-capture rate
+	// limit itself an assertion target: the chaos phase degrades hundreds of
+	// sessions at once, and exactly one .rkcp bundle may come out.
+	gradeWindow := 10 * *soakTick
+	var (
+		capMu   sync.Mutex
+		bundles []AnomalyCapture
+	)
+	fl, err := NewFleet(d, FleetConfig{
+		Window: gradeWindow,
+		TopK:   8,
+		Health: obs.HealthConfig{
+			// One datagram per site per tick is the healthy cadence; burst
+			// loss stretches the mean gap to tick/(1-loss) ≈ 1.4x, so the
+			// degraded margin sits at 1.2x. The infeasible margin is wide
+			// (5x) so the first post-partition window — whose mean includes
+			// one partition-length gap per site — grades degraded, not
+			// infeasible, and recovery hysteresis is exercised from there.
+			FrameTarget:           *soakTick,
+			FrameDegradedMargin:   *soakTick / 5,
+			FrameInfeasibleMargin: 4 * *soakTick,
+		},
+		CaptureLimit: 1,
+		CaptureEvery: time.Hour,
+		OnCapture: func(ac AnomalyCapture) {
+			capMu.Lock()
+			bundles = append(bundles, ac)
+			capMu.Unlock()
+		},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +243,33 @@ func TestRelaySoak10kSessionsUnderChaos(t *testing.T) {
 			}
 		}
 	}
+	// verdictCensus reads every session's fleet verdict, split into the
+	// chaos and clean driver groups (untracked sessions count as a third
+	// bucket — after the first grading tick there should be none).
+	type census struct {
+		chaosUnhealthy, cleanUnhealthy, untracked int
+	}
+	takeCensus := func() census {
+		var c census
+		for _, s := range sessions {
+			verdict, ok := fl.Verdict(s.token)
+			switch {
+			case !ok:
+				c.untracked++
+			case verdict > obs.Healthy && s.driver < chaosDrivers:
+				c.chaosUnhealthy++
+			case verdict > obs.Healthy:
+				c.cleanUnhealthy++
+			}
+		}
+		return c
+	}
 	var warmupSnap, healStart, healEnd snapshot
+	var partEndCensus, healEndCensus census
+	// The heal phase is 6 grading windows long: the first window after the
+	// partition grades degraded (its mean gap includes one partition-length
+	// hole per site), and recovery needs RecoverAfter=3 strictly-better
+	// windows after that — plus one window of phase-alignment slack.
 	phases := []struct {
 		name string
 		dur  time.Duration
@@ -207,7 +277,7 @@ func TestRelaySoak10kSessionsUnderChaos(t *testing.T) {
 		{"warmup", time.Second},
 		{"burst-loss", time.Second},
 		{"partition", time.Second},
-		{"heal", 2 * time.Second},
+		{"heal", 3 * time.Second},
 	}
 	controller := v.Go(func() {
 		for _, ph := range phases {
@@ -229,6 +299,7 @@ func TestRelaySoak10kSessionsUnderChaos(t *testing.T) {
 			switch ph.name {
 			case "heal":
 				healStart = takeSnap()
+				partEndCensus = takeCensus()
 			}
 			v.Sleep(ph.dur)
 			switch ph.name {
@@ -236,12 +307,14 @@ func TestRelaySoak10kSessionsUnderChaos(t *testing.T) {
 				warmupSnap = takeSnap()
 			case "heal":
 				healEnd = takeSnap()
+				healEndCensus = takeCensus()
 			}
 		}
 		stop.Store(true)
 	})
 
 	d.StartVirtual(v)
+	fl.StartVirtual(v)
 	dones := make([]<-chan struct{}, 0, nDrivers)
 	for _, dr := range drivers {
 		dr := dr
@@ -251,6 +324,16 @@ func TestRelaySoak10kSessionsUnderChaos(t *testing.T) {
 	for _, done := range dones {
 		<-done
 	}
+	// Grab the fleet's end-of-run state before tearing anything down: the
+	// capture limit was already hit, so FlushPending must emit nothing.
+	flushed := fl.FlushPending(v.Now())
+	fleetTracked := fl.Tracked()
+	fleetSnap := fl.Snapshot()
+	var tableSessions int
+	for _, sh := range d.Shards() {
+		tableSessions += len(sh.sessionTable())
+	}
+	fl.Close()
 	_ = d.Close()
 
 	// --- Invariant suite -------------------------------------------------
@@ -320,6 +403,108 @@ func TestRelaySoak10kSessionsUnderChaos(t *testing.T) {
 	if got := d.Sessions(); got != nSessions {
 		t.Errorf("daemon sessions = %d after soak, want %d", got, nSessions)
 	}
+
+	// 4. Fleet grading. The chaos group must be graded unhealthy by the end
+	// of the partition and recovered by the end of the heal; the clean group
+	// must never grade unhealthy. Small slack absorbs virtual same-instant
+	// scheduling wobble at phase boundaries.
+	chaosSessions := 0
+	for _, s := range sessions {
+		if s.driver < chaosDrivers {
+			chaosSessions++
+		}
+	}
+	if partEndCensus.untracked != 0 || healEndCensus.untracked != 0 {
+		t.Errorf("fleet: %d/%d sessions untracked at partition/heal end",
+			partEndCensus.untracked, healEndCensus.untracked)
+	}
+	if min := chaosSessions * 9 / 10; partEndCensus.chaosUnhealthy < min {
+		t.Errorf("fleet: only %d/%d chaos sessions graded unhealthy at partition end, want >= %d",
+			partEndCensus.chaosUnhealthy, chaosSessions, min)
+	}
+	if max := chaosSessions / 100; healEndCensus.chaosUnhealthy > max {
+		t.Errorf("fleet: %d/%d chaos sessions still unhealthy at heal end, want <= %d",
+			healEndCensus.chaosUnhealthy, chaosSessions, max)
+	}
+	if partEndCensus.cleanUnhealthy != 0 || healEndCensus.cleanUnhealthy != 0 {
+		t.Errorf("fleet: clean-link sessions graded unhealthy: %d at partition end, %d at heal end",
+			partEndCensus.cleanUnhealthy, healEndCensus.cleanUnhealthy)
+	}
+
+	// 5. Fleet accounting: no leaked or lost grading state in a churn-free
+	// soak, and the shard tables cover exactly the hosted population.
+	if fleetTracked != nSessions {
+		t.Errorf("fleet tracks %d sessions after soak, want %d", fleetTracked, nSessions)
+	}
+	if fleetSnap.Summary.Tracked != nSessions {
+		t.Errorf("fleet snapshot tracked %d sessions, want %d", fleetSnap.Summary.Tracked, nSessions)
+	}
+	if tableSessions != nSessions {
+		t.Errorf("shard stat tables cover %d sessions, want %d", tableSessions, nSessions)
+	}
+	if fleetSnap.Summary.Flips < int64(chaosSessions*9/10) {
+		t.Errorf("fleet counted %d flips, want >= %d (one per degraded chaos session)",
+			fleetSnap.Summary.Flips, chaosSessions*9/10)
+	}
+
+	// 6. Anomaly capture: with CaptureLimit 1, the chaos storm produces
+	// exactly one bundle; every other flip is a counted suppression, and the
+	// shutdown flush has nothing left to emit. The bundle must survive an
+	// encode/decode round trip and every record must demux back to the
+	// captured session's token.
+	capMu.Lock()
+	gotBundles := append([]AnomalyCapture(nil), bundles...)
+	capMu.Unlock()
+	if flushed != 0 {
+		t.Errorf("FlushPending emitted %d bundles past the capture limit", flushed)
+	}
+	if len(gotBundles) != 1 {
+		t.Fatalf("chaos soak emitted %d anomaly bundles, want exactly 1 (CaptureLimit)", len(gotBundles))
+	}
+	if fleetSnap.Summary.Captures != 1 || fleetSnap.Summary.Suppressed < 1 {
+		t.Errorf("fleet counters: captures=%d suppressed=%d, want 1 and >= 1",
+			fleetSnap.Summary.Captures, fleetSnap.Summary.Suppressed)
+	}
+	bundle := gotBundles[0]
+	if bundle.State < obs.Degraded {
+		t.Errorf("anomaly bundle verdict = %v, want degraded or worse", bundle.State)
+	}
+	if i, ok := byToken[bundle.Token]; !ok || sessions[i].driver >= chaosDrivers {
+		t.Errorf("anomaly bundle captured session %s, which is not in the chaos group", bundle.Token)
+	}
+	encoded := bundle.Capture.Encode()
+	decoded, err := capture.Decode(encoded)
+	if err != nil {
+		t.Fatalf("anomaly bundle does not decode: %v", err)
+	}
+	if decoded.Meta.Session != bundle.Token.String() {
+		t.Errorf("bundle meta session = %q, want %q", decoded.Meta.Session, bundle.Token)
+	}
+	if decoded.Meta.Verdict != bundle.State.String() {
+		t.Errorf("bundle meta verdict = %q, want %q", decoded.Meta.Verdict, bundle.State)
+	}
+	if len(decoded.Records) == 0 {
+		t.Error("anomaly bundle holds no traffic")
+	}
+	for i, rec := range decoded.Records {
+		tok, _, _, ok := ParseHeader(rec.Payload)
+		if !ok || tok != bundle.Token {
+			t.Fatalf("bundle record %d does not demux to the captured session: token=%v ok=%v", i, tok, ok)
+		}
+	}
+	// CI keeps the bundle as an artifact when the soak fails.
+	if dir := os.Getenv("RETROLOCK_RELAY_CAPTURE_DIR"); dir != "" {
+		path := filepath.Join(dir, fmt.Sprintf("anomaly-%s-%s.rkcp", bundle.Token, bundle.State))
+		if err := os.WriteFile(path, encoded, 0o644); err != nil {
+			t.Errorf("writing anomaly bundle artifact: %v", err)
+		} else {
+			t.Logf("anomaly bundle written to %s (%d records, %d bytes)", path, len(decoded.Records), len(encoded))
+		}
+	}
+	t.Logf("fleet: window=%v graded=%d flips=%d captures=%d suppressed=%d chaos-unhealthy(part-end)=%d/%d",
+		gradeWindow, fleetSnap.Summary.Graded, fleetSnap.Summary.Flips, fleetSnap.Summary.Captures,
+		fleetSnap.Summary.Suppressed, partEndCensus.chaosUnhealthy, chaosSessions)
+
 	var sent int64
 	for _, s := range sessions {
 		sent += s.sent[0].Load() + s.sent[1].Load()

@@ -1,0 +1,147 @@
+package relay
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"retrolock/internal/capture"
+	"retrolock/internal/obs"
+)
+
+// sessStats is one hosted session's stat block. The shard loop is the only
+// writer on the packet path; the fleet aggregator (and the ops surface
+// behind it) reads concurrently through atomics and the lock-free
+// histograms, so there is no cross-shard locking and no per-datagram
+// allocation. Blocks are pooled: dropSession resets and recycles them, and
+// the generation counter lets a reader holding a stale reference detect
+// that the block now belongs to someone else.
+type sessStats struct {
+	// gen increments on every reset. A published statRef snapshots the
+	// value at publish time; a mismatch on read means the block was
+	// recycled under the reader and its contents describe a different
+	// session.
+	gen atomic.Uint32
+
+	// in counts payload datagrams ingested per site (header-only
+	// keepalives refresh lastSeen but are not traffic).
+	in [2]atomic.Int64
+	// fwd / parked / dropped count datagrams forwarded to the peer,
+	// parked for a still-unbound site, and evicted from this session's
+	// pending rings.
+	fwd     atomic.Int64
+	parked  atomic.Int64
+	dropped atomic.Int64
+	// lastSeenNs is the Unix-ns instant of the last accepted datagram
+	// (keepalives included).
+	lastSeenNs atomic.Int64
+	// boundMask holds one bit per bound site slot. Single-writer (the
+	// shard loop), so Load+Store needs no CAS.
+	boundMask atomic.Uint32
+
+	// lastInNs is the previous payload-datagram instant per site,
+	// loop-owned (only ingest touches it) — the state behind gap.
+	lastInNs [2]int64
+
+	// gap is the payload inter-arrival time per site (ns): the fleet's
+	// frame-pacing signal. residence is the Route→ingest latency (ns) —
+	// how long a datagram sat in the shard queue, the relay's own
+	// contribution to RTT.
+	gap       obs.Histogram
+	residence obs.Histogram
+
+	// ring is the session's anomaly flight recorder (most recent accepted
+	// datagrams, relay header included); nil unless auto-capture is
+	// configured.
+	ring *capture.Ring
+}
+
+// reset prepares the block for reuse by a different session.
+func (st *sessStats) reset() {
+	st.gen.Add(1)
+	for i := range st.in {
+		st.in[i].Store(0)
+		st.lastInNs[i] = 0
+	}
+	st.fwd.Store(0)
+	st.parked.Store(0)
+	st.dropped.Store(0)
+	st.lastSeenNs.Store(0)
+	st.boundMask.Store(0)
+	st.gap.Reset()
+	st.residence.Reset()
+	st.ring.Reset()
+}
+
+// inTotal returns payload datagrams ingested across both sites.
+func (st *sessStats) inTotal() int64 { return st.in[0].Load() + st.in[1].Load() }
+
+// statsPool recycles stat blocks (histograms and capture rings are the
+// expensive parts) across the daemon's churn. sync.Pool is safe from every
+// shard loop concurrently.
+type statsPool struct {
+	pool      sync.Pool
+	ringRecs  int // ring geometry; 0 disables rings
+	ringBytes int
+}
+
+func newStatsPool(ringRecs, ringBytes int) *statsPool {
+	return &statsPool{ringRecs: ringRecs, ringBytes: ringBytes}
+}
+
+func (p *statsPool) get() *sessStats {
+	st, _ := p.pool.Get().(*sessStats)
+	if st == nil {
+		st = &sessStats{}
+		if p.ringRecs > 0 {
+			st.ring = capture.NewRing(p.ringRecs, p.ringBytes)
+		}
+	}
+	return st
+}
+
+func (p *statsPool) put(st *sessStats) {
+	if st == nil {
+		return
+	}
+	st.reset()
+	p.pool.Put(st)
+}
+
+// statRef is one entry of a shard's published session table: the token, its
+// stat block, and the block's generation at publish time.
+type statRef struct {
+	token Token
+	stats *sessStats
+	gen   uint32
+}
+
+// valid reports whether the referenced block still belongs to this token.
+func (r *statRef) valid() bool { return r.stats.gen.Load() == r.gen }
+
+// publishTable rebuilds the shard's session table snapshot. Called from the
+// shard loop only, and only when membership changed (register/close/expire) —
+// steady-state packet processing never rebuilds it. Sorted by token so every
+// consumer iterates deterministically.
+func (s *Shard) publishTable() {
+	refs := make([]statRef, 0, len(s.sessions))
+	for tok, h := range s.sessions {
+		if h.stats == nil {
+			continue
+		}
+		refs = append(refs, statRef{token: tok, stats: h.stats, gen: h.stats.gen.Load()})
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].token < refs[j].token })
+	s.table.Store(&refs)
+}
+
+// sessionTable returns the shard's last published table (nil before the
+// first publish). The slice is immutable once published; the stat blocks it
+// references are live and must be gen-checked via statRef.valid.
+func (s *Shard) sessionTable() []statRef {
+	p := s.table.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}

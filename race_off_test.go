@@ -1,0 +1,7 @@
+//go:build !race
+
+package retrolock_test
+
+// raceEnabled reports whether this binary was built with -race; see
+// race_on_test.go.
+const raceEnabled = false

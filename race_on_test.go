@@ -1,0 +1,9 @@
+//go:build race
+
+package retrolock_test
+
+// raceEnabled reports whether this binary was built with -race. Alloc
+// regression tests that exercise sync.Pool-recycled paths skip under the
+// race detector: its runtime intentionally drops a fraction of Pool.Put
+// calls, so pooled paths allocate there by design, not by regression.
+const raceEnabled = true

@@ -26,10 +26,11 @@ func (nullFront) Close() error                         { return nil }
 // benchRelayDaemon builds an unstarted daemon with nSessions placed and both
 // site slots bound, returning the tokens and per-session site addresses.
 // Stepping is done manually by the benchmark loop, standing in for the shard
-// loops.
-func benchRelayDaemon(b *testing.B, shards, nSessions int, tap *capture.Recorder) (*relay.Daemon, []relay.Token, [][2]relay.Addr) {
+// loops. cfg.MaxSessions is overridden to nSessions.
+func benchRelayDaemon(b testing.TB, cfg relay.Config, nSessions int) (*relay.Daemon, []relay.Token, [][2]relay.Addr) {
 	b.Helper()
-	d, err := relay.NewDaemon(relay.Config{Shards: shards, MaxSessions: nSessions, Tap: tap}, []relay.Front{nullFront{}})
+	cfg.MaxSessions = nSessions
+	d, err := relay.NewDaemon(cfg, []relay.Front{nullFront{}})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func benchRelayDaemon(b *testing.B, shards, nSessions int, tap *capture.Recorder
 		sh.Step()
 	}
 	for _, sh := range d.Shards() {
-		if sh.Active() == 0 && nSessions >= shards {
+		if sh.Active() == 0 && nSessions >= len(d.Shards()) {
 			b.Fatalf("shard %s has no sessions after setup", sh.Addr())
 		}
 	}
@@ -100,7 +101,7 @@ func stampRelayBatch(ms []relay.Message, toks []relay.Token, addrs [][2]relay.Ad
 // capacity claim rests on.
 func BenchmarkRelayDemux(b *testing.B) {
 	const batch = 64
-	d, toks, addrs := benchRelayDaemon(b, 8, 256, nil)
+	d, toks, addrs := benchRelayDaemon(b, relay.Config{Shards: 8}, 256)
 	defer d.Close()
 	ms := benchRelayBatch(batch)
 	shards := d.Shards()
@@ -119,7 +120,7 @@ func BenchmarkRelayDemux(b *testing.B) {
 // 64-datagram queue — the event-loop body without the demux in front of it.
 func BenchmarkRelayShardStep(b *testing.B) {
 	const batch = 64
-	d, toks, addrs := benchRelayDaemon(b, 1, 64, nil)
+	d, toks, addrs := benchRelayDaemon(b, relay.Config{Shards: 1}, 64)
 	defer d.Close()
 	ms := benchRelayBatch(batch)
 	sh := d.Shards()[0]
@@ -144,7 +145,7 @@ func BenchmarkRelayShardStepCaptured(b *testing.B) {
 	// Sized like relayd's -capture tap; once the arena fills, recording
 	// degrades to counted drops and the cost only goes down.
 	tap := capture.NewRecorder(1<<16, 1<<24)
-	d, toks, addrs := benchRelayDaemon(b, 1, 64, tap)
+	d, toks, addrs := benchRelayDaemon(b, relay.Config{Shards: 1, Tap: tap}, 64)
 	defer d.Close()
 	ms := benchRelayBatch(batch)
 	sh := d.Shards()[0]
@@ -156,5 +157,80 @@ func BenchmarkRelayShardStepCaptured(b *testing.B) {
 		d.Route(ms, batch)
 		b.StartTimer()
 		sh.Step()
+	}
+}
+
+// BenchmarkRelayShardStepStats is BenchmarkRelayShardStep with per-session
+// stat blocks enabled (relayd's fleet-observability configuration, minus
+// the anomaly rings): every ingested datagram updates its session's
+// counters, inter-arrival and residence histograms inline. The delta
+// against the plain benchmark is the price of making every hosted session
+// individually gradeable — and it must stay 0 allocs/op.
+func BenchmarkRelayShardStepStats(b *testing.B) {
+	const batch = 64
+	d, toks, addrs := benchRelayDaemon(b, relay.Config{Shards: 1, Stats: true}, 64)
+	defer d.Close()
+	ms := benchRelayBatch(batch)
+	sh := d.Shards()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n, round := 0, 0; n < b.N; n, round = n+batch, round+1 {
+		b.StopTimer()
+		stampRelayBatch(ms, toks, addrs, round)
+		d.Route(ms, batch)
+		b.StartTimer()
+		sh.Step()
+	}
+}
+
+// BenchmarkRelayShardStepStatsRing adds the per-session anomaly-capture
+// rings on top of the stat blocks — the full -autocapture relayd
+// configuration, each ring continuously evicting its oldest traffic to
+// admit the newest.
+func BenchmarkRelayShardStepStatsRing(b *testing.B) {
+	const batch = 64
+	d, toks, addrs := benchRelayDaemon(b,
+		relay.Config{Shards: 1, Stats: true, AutoCaptureRecords: 64, AutoCaptureBytes: 8 << 10}, 64)
+	defer d.Close()
+	ms := benchRelayBatch(batch)
+	sh := d.Shards()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n, round := 0, 0; n < b.N; n, round = n+batch, round+1 {
+		b.StopTimer()
+		stampRelayBatch(ms, toks, addrs, round)
+		d.Route(ms, batch)
+		b.StartTimer()
+		sh.Step()
+	}
+}
+
+// TestRelayShardStepStatsDoesNotAllocate pins the acceptance criterion
+// directly: Route + Step with per-session stats AND the anomaly ring
+// attached allocates nothing in steady state. (The one churn-time
+// allocation — republishing a shard's session table — happens only on
+// register/close/expire, which the loop below never does.)
+func TestRelayShardStepStatsDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race runtime drops sync.Pool puts at random, so the pooled buffer path allocates under -race by design")
+	}
+	const batch = 64
+	d, toks, addrs := benchRelayDaemon(t,
+		relay.Config{Shards: 1, Stats: true, AutoCaptureRecords: 64, AutoCaptureBytes: 8 << 10}, 64)
+	defer d.Close()
+	ms := benchRelayBatch(batch)
+	sh := d.Shards()[0]
+	round := 0
+	step := func() {
+		stampRelayBatch(ms, toks, addrs, round)
+		round++
+		d.Route(ms, batch)
+		sh.Step()
+	}
+	for i := 0; i < 100; i++ { // reach steady-state pool/arena occupancy
+		step()
+	}
+	if allocs := testing.AllocsPerRun(500, step); allocs != 0 {
+		t.Fatalf("relay packet path with stats+ring allocates %v per batch, want 0", allocs)
 	}
 }
