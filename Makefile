@@ -57,19 +57,19 @@ bench-hotpath:
 
 # The tracked perf surface — the sync hot path, the full frame loop
 # (plain, traced, and with the flight recorder attached), the dirty-page
-# savestate/digest paths, and the relayd packet path — rendered into the
-# machine-readable $(BENCH_JSON) via cmd/benchjson. CI runs this and
-# uploads the JSON as an artifact.
-BENCH_JSON ?= BENCH_PR9.json
+# savestate/digest paths, the relayd packet path, and the history
+# retention tick — rendered into the machine-readable $(BENCH_JSON) via
+# cmd/benchjson. CI runs this and uploads the JSON as an artifact.
+BENCH_JSON ?= BENCH_PR10.json
 bench:
-	$(GO) test -run NONE -bench 'SyncHotPath|FrameLoop|SyncInputNoWait|StateHashIncremental|SavestateDelta|RelayDemux|RelayShardStep' -benchmem . \
+	$(GO) test -run NONE -bench 'SyncHotPath|FrameLoop|SyncInputNoWait|StateHashIncremental|SavestateDelta|RelayDemux|RelayShardStep|HistorySample' -benchmem . \
 		| $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
 
 # Regression gate: rebuild the perf report and diff it against the
 # checked-in baseline with cmd/benchcmp. Fails on a >15% ns/op regression
 # or any allocs/op growth on a gated benchmark — and on a gated benchmark
 # disappearing from the fresh run.
-BENCH_BASELINE ?= BENCH_PR9.json
+BENCH_BASELINE ?= BENCH_PR10.json
 bench-gate:
 	$(MAKE) bench BENCH_JSON=BENCH_NEW.json
 	$(GO) run ./cmd/benchcmp $(BENCH_BASELINE) BENCH_NEW.json

@@ -35,7 +35,7 @@ type Result struct {
 
 var (
 	threshold = flag.Float64("threshold", 0.15, "max tolerated ns/op regression on gated benchmarks (0.15 = +15%)")
-	gate      = flag.String("gate", "SyncHotPath|SyncInputNoWait|SyncHotPathFlight|StateHashIncremental|SavestateDelta|RelayDemux|RelayShardStep", "regexp of benchmark names that fail the run on regression")
+	gate      = flag.String("gate", "SyncHotPath|SyncInputNoWait|SyncHotPathFlight|StateHashIncremental|SavestateDelta|RelayDemux|RelayShardStep|HistorySample", "regexp of benchmark names that fail the run on regression")
 )
 
 func main() {

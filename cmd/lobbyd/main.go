@@ -11,6 +11,7 @@ import (
 
 	"retrolock/internal/lobby"
 	"retrolock/internal/obs"
+	"retrolock/internal/obs/history"
 )
 
 func main() {
@@ -34,12 +35,22 @@ func main() {
 	if *obsAddr != "" {
 		reg := obs.NewRegistry()
 		lobby.RegisterMetrics(reg, srv)
+		obs.RegisterProcessMetrics(reg)
+		// Retain every lobby series at multiple resolutions (/history). No
+		// alert rules — admission has no error budget to burn; trends are
+		// what an operator wants here.
+		hist := history.Wire(reg, history.Options{})
+		go func() {
+			for range time.Tick(hist.Store.BaseStep()) {
+				hist.Sample(time.Now())
+			}
+		}()
 		osrv, err := obs.Serve(*obsAddr, reg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer osrv.Close()
-		log.Printf("observability on http://%s/", osrv.Addr())
+		log.Printf("observability on http://%s/ (metrics, history, incidents, pprof)", osrv.Addr())
 	}
 	log.Printf("serving rendezvous on %s", srv.Addr())
 	if err := srv.Serve(); err != nil {

@@ -29,6 +29,7 @@ import (
 	"retrolock/internal/capture"
 	"retrolock/internal/lobby"
 	"retrolock/internal/obs"
+	"retrolock/internal/obs/history"
 	"retrolock/internal/relay"
 )
 
@@ -150,6 +151,9 @@ func main() {
 		Window: window,
 		Health: obs.HealthConfig{FrameTarget: target},
 	}
+	// Bound when -obs is on (below); OnCapture closes over it so every bundle
+	// written to disk is also filed against the open incident's timeline.
+	var svc *history.Service
 	if dir := *autoCapture; dir != "" {
 		fcfg.OnCapture = func(ac relay.AnomalyCapture) {
 			path, err := writeBundle(dir, ac)
@@ -159,6 +163,11 @@ func main() {
 			}
 			log.Printf("autocapture: session %s graded %s, wrote %s (%d datagrams)",
 				ac.Token, ac.State, path, len(ac.Capture.Records))
+			if svc != nil {
+				svc.Log.AttachCapture("", history.CaptureRef{
+					Session: ac.Token.String(), Path: path, AtNs: time.Now().UnixNano(),
+				})
+			}
 		}
 	}
 	fl, err := relay.NewFleet(d, fcfg)
@@ -181,15 +190,53 @@ func main() {
 		reg := obs.NewRegistry()
 		relay.RegisterMetrics(reg, d)
 		lobby.RegisterMetrics(reg, srv)
+		obs.RegisterProcessMetrics(reg)
 		fl.Register(reg)
 		// Grade shard step pacing on the health engine: a relay whose event
 		// loops fall behind frame cadence is infeasible for every session
 		// it hosts.
 		health := obs.NewHealth(obs.HealthConfig{}, obs.HealthSources{FrameTime: d.StepTime})
 		health.Register(reg, 0)
+		// History retention + burn-rate alerting over everything registered
+		// above. The fleet-health alert burns when more than 4x a 5% budget
+		// of tracked sessions grade unhealthy over both the one-minute and
+		// five-minute windows; firing opens an incident on /incidents and
+		// snapshots one representative burning session's anomaly ring (the
+		// same rate-limited path a per-session flip takes).
+		svc = history.Wire(reg, history.Options{
+			Rules: []history.Rule{{
+				Name:   "fleet-session-health",
+				Source: history.SourceGauge,
+				Bad: []string{
+					obs.Key(relay.MetricSessionVerdicts, obs.Labels{"state": "degraded"}),
+					obs.Key(relay.MetricSessionVerdicts, obs.Labels{"state": "infeasible"}),
+				},
+				Total:      []string{relay.MetricSessionTracked},
+				Budget:     0.05,
+				FastWindow: time.Minute,
+				SlowWindow: 5 * time.Minute,
+				Threshold:  4,
+			}},
+			OnTransition: func(ev history.Event) {
+				if !ev.Firing {
+					log.Printf("alert %s cleared (burn fast=%.1f slow=%.1f)", ev.Name, ev.BurnFast, ev.BurnSlow)
+					return
+				}
+				log.Printf("alert %s FIRING (burn fast=%.1f slow=%.1f)", ev.Name, ev.BurnFast, ev.BurnSlow)
+				at := time.Unix(0, ev.AtNs)
+				snap := fl.Snapshot()
+				svc.Log.Annotate(ev.Name, at, "fleet: %d tracked, %d degraded, %d infeasible, %d flips",
+					snap.Summary.Tracked, snap.Summary.Degraded, snap.Summary.Infeasible, snap.Summary.Flips)
+				if tok, ok := fl.CaptureBurning(at); ok {
+					log.Printf("alert %s: captured burning session %s", ev.Name, tok)
+				}
+			},
+		})
 		go func() {
-			for range time.Tick(time.Second) {
-				health.Evaluate(time.Now())
+			for range time.Tick(svc.Store.BaseStep()) {
+				now := time.Now()
+				health.Evaluate(now)
+				svc.Sample(now)
 			}
 		}()
 		osrv, err := obs.Serve(*obsAddr, reg)
@@ -197,7 +244,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer osrv.Close()
-		log.Printf("observability on http://%s/ (metrics, healthz, sessions, pprof)", osrv.Addr())
+		log.Printf("observability on http://%s/ (metrics, healthz, sessions, history, alerts, incidents, pprof)", osrv.Addr())
 	}
 
 	// The evidence flush: deferred anomaly bundles first (the rate limiter

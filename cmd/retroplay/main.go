@@ -33,6 +33,7 @@ import (
 	"retrolock/internal/flight"
 	"retrolock/internal/lobby"
 	"retrolock/internal/obs"
+	"retrolock/internal/obs/history"
 	"retrolock/internal/relay"
 	"retrolock/internal/replay"
 	"retrolock/internal/rom"
@@ -170,6 +171,7 @@ func main() {
 		traceCap = 1 << 16
 	}
 	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg)
 	so := core.NewSessionObs(reg, *site, traceCap, time.Now())
 	ses.SetObs(so)
 	core.RegisterSessionMetrics(reg, obs.SiteLabels(*site), ses)
@@ -223,13 +225,32 @@ func main() {
 		}
 	}()
 
+	// History retention + a burn-rate alert over the session's own health
+	// verdict: it fires when this site spends more than 4x a 5% budget of
+	// the last minute (and five minutes) at degraded or worse, and shows up
+	// on /alerts and /incidents next to the retained series on /history.
+	// Sampling rides the same once-per-60-frames callback as the health
+	// engine — one tick per wall second at full speed, zero allocations.
+	hist := history.Wire(reg, history.Options{
+		Rules: []history.Rule{{
+			Name:   fmt.Sprintf("session-health-%d", *site),
+			Source: history.SourceGauge,
+			Bad:    []string{obs.Key("retrolock_health_state", obs.SiteLabels(*site))},
+			BadMap: history.BadAbove(float64(obs.Degraded)),
+			Budget: 0.05, FastWindow: time.Minute, SlowWindow: 5 * time.Minute,
+			Threshold: 4,
+		}},
+		Tracer:     so.Tracer,
+		TracerSite: *site,
+	})
+
 	if *obsAddr != "" {
 		osrv, err := obs.Serve(*obsAddr, reg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer osrv.Close()
-		log.Printf("observability on http://%s/ (metrics, healthz, expvar, pprof, trace)", osrv.Addr())
+		log.Printf("observability on http://%s/ (metrics, healthz, history, alerts, incidents, expvar, pprof, trace)", osrv.Addr())
 	}
 
 	log.Print("waiting for the peer (handshake)...")
@@ -254,7 +275,9 @@ func main() {
 			rec.OnFrame(fi.Input)
 		}
 		if fi.Frame > 0 && fi.Frame%60 == 0 {
-			health.Evaluate(time.Now())
+			now := time.Now()
+			health.Evaluate(now)
+			hist.Sample(now)
 		}
 		if *render > 0 && fi.Frame%*render == 0 {
 			fmt.Print("\033[H\033[2J") // clear terminal

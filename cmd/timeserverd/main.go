@@ -41,6 +41,7 @@ func main() {
 	if *obsAddr != "" {
 		reg := obs.NewRegistry()
 		timeserver.RegisterMetrics(reg, srv)
+		obs.RegisterProcessMetrics(reg)
 		osrv, err := obs.Serve(*obsAddr, reg)
 		if err != nil {
 			log.Fatal(err)

@@ -206,3 +206,25 @@ func TestHealthzEndpoint(t *testing.T) {
 		t.Fatalf("retrolock_health_transitions = %v, want 1", got)
 	}
 }
+
+// TestHealthzHeaders pins the /healthz header contract: explicit JSON
+// Content-Type and Cache-Control: no-store, so no intermediary keeps
+// serving a stale verdict.
+func TestHealthzHeaders(t *testing.T) {
+	r := NewRegistry()
+	h := NewHealth(HealthConfig{}, HealthSources{RTT: &Histogram{}})
+	h.Register(r, 0)
+	mux := NewMux(r)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("healthz = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("Cache-Control = %q, want no-store", cc)
+	}
+}

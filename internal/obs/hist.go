@@ -35,6 +35,14 @@ func (c *Counter) Value() int64 {
 // bucket 0 holds exactly 0, bucket i (i >= 1) holds [2^(i-1), 2^i - 1].
 const histBuckets = 65
 
+// NumBuckets exports the bucket count for packages that retain bucket-delta
+// snapshots (the history store's downsampling rings).
+const NumBuckets = histBuckets
+
+// BucketCounts is a snapshot of a Histogram's per-bucket counts — the type
+// Buckets returns and QuantileOfBuckets consumes.
+type BucketCounts = [histBuckets]int64
+
 // Histogram is a lock-free, power-of-two bucketed histogram of int64 values
 // (typically durations in nanoseconds). Observe is a few atomic adds — no
 // locks, no allocation — so it is safe on the 60 FPS hot path, and every

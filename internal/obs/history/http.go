@@ -1,0 +1,106 @@
+package history
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// The /history query surface. One endpoint, no query language:
+//
+//	GET /history                          → tracked series + ring layout
+//	GET /history?series=K                 → last 5 m of K, finest ring
+//	GET /history?series=K&window=1h       → auto-picked ring covering 1 h
+//	GET /history?series=K&res=10s         → explicit ring by step
+//	GET /history?series=K&stat=q&q=0.99   → histogram reduction (count, sum,
+//	                                        mean, q; scalars ignore stat)
+//
+// Responses are JSON; points are oldest-first per-slot values (counter
+// deltas, gauge last-values, histogram reductions).
+
+type queryResponse struct {
+	Series string  `json:"series"`
+	Kind   string  `json:"kind"` // "scalar" or "histogram"
+	Stat   string  `json:"stat,omitempty"`
+	StepNs int64   `json:"step_ns"`
+	Points []Point `json:"points"`
+}
+
+type listResponse struct {
+	Resolutions []Resolution `json:"resolutions"`
+	Samples     uint64       `json:"samples"`
+	Scalars     []string     `json:"scalars"`
+	Histograms  []string     `json:"histograms"`
+}
+
+// parseWindow accepts Go duration strings ("90s", "1h") or bare seconds.
+func parseWindow(s string) (time.Duration, bool) {
+	if s == "" {
+		return 0, true
+	}
+	if d, err := time.ParseDuration(s); err == nil && d > 0 {
+		return d, true
+	}
+	if sec, err := strconv.Atoi(s); err == nil && sec > 0 {
+		return time.Duration(sec) * time.Second, true
+	}
+	return 0, false
+}
+
+// Handler serves the store at a single /history-shaped endpoint.
+func (s *Store) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
+		q := req.URL.Query()
+		series := q.Get("series")
+		if series == "" {
+			scalars, hists := s.Keys()
+			_ = json.NewEncoder(w).Encode(listResponse{
+				Resolutions: s.Resolutions(),
+				Samples:     s.Samples(),
+				Scalars:     scalars,
+				Histograms:  hists,
+			})
+			return
+		}
+		step, okStep := parseWindow(q.Get("res"))
+		window, okWin := parseWindow(q.Get("window"))
+		if !okStep || !okWin {
+			http.Error(w, "bad res/window (want a Go duration like 90s)", http.StatusBadRequest)
+			return
+		}
+		if window == 0 {
+			window = 5 * time.Minute
+		}
+
+		if pts, res, ok := s.QueryScalar(series, step, window); ok {
+			_ = json.NewEncoder(w).Encode(queryResponse{
+				Series: series, Kind: "scalar", StepNs: int64(res.Step), Points: pts,
+			})
+			return
+		}
+		stat := HistStat(q.Get("stat"))
+		if stat == "" {
+			stat = StatCount
+		}
+		quant := 0.99
+		if qs := q.Get("q"); qs != "" {
+			v, err := strconv.ParseFloat(qs, 64)
+			if err != nil || v < 0 || v > 1 {
+				http.Error(w, "bad q (want 0..1)", http.StatusBadRequest)
+				return
+			}
+			quant = v
+		}
+		if pts, res, ok := s.QueryHist(series, step, window, stat, quant); ok {
+			_ = json.NewEncoder(w).Encode(queryResponse{
+				Series: series, Kind: "histogram", Stat: string(stat),
+				StepNs: int64(res.Step), Points: pts,
+			})
+			return
+		}
+		http.Error(w, "unknown series or resolution: "+series, http.StatusNotFound)
+	})
+}

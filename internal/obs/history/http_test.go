@@ -1,0 +1,111 @@
+package history
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"retrolock/internal/obs"
+)
+
+func servedStore(t *testing.T) *Store {
+	t.Helper()
+	store := NewStore(Config{Resolutions: []Resolution{
+		{Step: time.Second, Slots: 60},
+		{Step: 10 * time.Second, Slots: 30},
+	}})
+	c := 0.0
+	h := &obs.Histogram{}
+	store.TrackCounter("reqs", func() float64 { return c })
+	store.TrackHistogram("lat", h)
+	now := testEpoch
+	for i := 0; i < 30; i++ {
+		c += 2
+		h.Observe(int64(i) * 1000)
+		now = now.Add(time.Second)
+		store.Sample(now)
+	}
+	return store
+}
+
+func get(t *testing.T, h http.Handler, target string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, target, nil))
+	return rec
+}
+
+func TestHistoryHandlerList(t *testing.T) {
+	rec := get(t, servedStore(t).Handler(), "/history")
+	assertOpsHeaders(t, rec, "application/json")
+	var body listResponse
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatalf("decode list: %v", err)
+	}
+	if body.Samples != 30 || len(body.Resolutions) != 2 {
+		t.Errorf("list = %+v, want 30 samples over 2 rings", body)
+	}
+	if len(body.Scalars) != 1 || body.Scalars[0] != "reqs" ||
+		len(body.Histograms) != 1 || body.Histograms[0] != "lat" {
+		t.Errorf("list keys = %v/%v, want [reqs]/[lat]", body.Scalars, body.Histograms)
+	}
+}
+
+func TestHistoryHandlerScalarQuery(t *testing.T) {
+	rec := get(t, servedStore(t).Handler(), "/history?series=reqs&window=30s")
+	assertOpsHeaders(t, rec, "application/json")
+	var body queryResponse
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatalf("decode query: %v", err)
+	}
+	if body.Kind != "scalar" || body.StepNs != int64(time.Second) {
+		t.Errorf("query = kind %q step %d, want scalar at the 1s ring", body.Kind, body.StepNs)
+	}
+	var sum float64
+	for _, p := range body.Points {
+		sum += p.Value
+	}
+	if sum != 60 {
+		t.Errorf("served counter deltas sum to %v, want 60", sum)
+	}
+}
+
+func TestHistoryHandlerHistQuery(t *testing.T) {
+	rec := get(t, servedStore(t).Handler(), "/history?series=lat&window=30s&stat=sum")
+	var body queryResponse
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatalf("decode query: %v", err)
+	}
+	if body.Kind != "histogram" || body.Stat != "sum" {
+		t.Errorf("query = kind %q stat %q, want histogram sum", body.Kind, body.Stat)
+	}
+	var sum float64
+	for _, p := range body.Points {
+		sum += p.Value
+	}
+	if want := float64(1000 * (29 * 30 / 2)); sum != want {
+		t.Errorf("served hist sums total %v, want %v", sum, want)
+	}
+}
+
+func TestHistoryHandlerErrors(t *testing.T) {
+	h := servedStore(t).Handler()
+	if rec := get(t, h, "/history?series=nope"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown series → %d, want 404", rec.Code)
+	}
+	if rec := get(t, h, "/history?series=reqs&window=bogus"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad window → %d, want 400", rec.Code)
+	}
+	if rec := get(t, h, "/history?series=lat&stat=q&q=2"); rec.Code != http.StatusBadRequest {
+		t.Errorf("out-of-range quantile → %d, want 400", rec.Code)
+	}
+	// An explicit resolution that exists is honored; one that doesn't is 404.
+	if rec := get(t, h, "/history?series=reqs&res=10s"); rec.Code != http.StatusOK {
+		t.Errorf("explicit 10s ring → %d, want 200", rec.Code)
+	}
+	if rec := get(t, h, "/history?series=reqs&res=3s"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown ring → %d, want 404", rec.Code)
+	}
+}

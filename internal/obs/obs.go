@@ -57,6 +57,10 @@ const (
 	// transition as from<<8 | to (HealthState codes). Frame is -1: health
 	// windows span many frames.
 	EvHealth
+	// EvAlert marks a burn-rate alert transition; Arg encodes the rule
+	// index<<1 | state (1 firing, 0 resolved). Frame is -1: alerts grade
+	// minutes of budget, not frames.
+	EvAlert
 )
 
 // String returns the JSONL/trace name of the kind.
@@ -80,6 +84,8 @@ func (k EventKind) String() string {
 		return "incident"
 	case EvHealth:
 		return "health"
+	case EvAlert:
+		return "alert"
 	}
 	return "unknown"
 }

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Process-level series every daemon obs surface exports: what build is
+// running (retrolock_build_info) and how the Go runtime underneath it is
+// doing (retrolock_runtime_*). The runtime reads piggyback on scrapes and
+// history samples — nothing polls in the background — and the GC pause
+// histogram is fed incrementally from memstats' pause ring, so it composes
+// with the windowed bucket-delta machinery like every other histogram here.
+
+// Process metric names.
+const (
+	MetricBuildInfo         = "retrolock_build_info"
+	MetricRuntimeGoroutines = "retrolock_runtime_goroutines"
+	MetricRuntimeHeapBytes  = "retrolock_runtime_heap_bytes"
+	MetricRuntimeGCTotal    = "retrolock_runtime_gc_total"
+	MetricRuntimeGCPauseNs  = "retrolock_runtime_gc_pause_ns"
+	MetricRuntimeUptime     = "retrolock_runtime_uptime_seconds"
+)
+
+// processCollector refreshes memstats-derived series at most once per
+// refreshEvery, shared by every read closure so a scrape touching several
+// series costs one ReadMemStats.
+type processCollector struct {
+	mu         sync.Mutex
+	stats      runtime.MemStats
+	lastAt     time.Time
+	lastNumGC  uint32
+	pause      *Histogram
+	start      time.Time
+	refreshery time.Duration
+}
+
+// refresh re-reads memstats (rate-limited) and drains any new GC pauses
+// into the pause histogram. memstats keeps the last 256 pauses in a ring
+// indexed by NumGC; draining by NumGC delta conserves every pause unless
+// more than 256 GCs happen between reads.
+func (c *processCollector) refresh() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	if !c.lastAt.IsZero() && now.Sub(c.lastAt) < c.refreshery {
+		return
+	}
+	c.lastAt = now
+	runtime.ReadMemStats(&c.stats)
+	n := c.stats.NumGC - c.lastNumGC
+	if n > uint32(len(c.stats.PauseNs)) {
+		n = uint32(len(c.stats.PauseNs))
+	}
+	for i := c.stats.NumGC - n; i < c.stats.NumGC; i++ {
+		c.pause.Observe(int64(c.stats.PauseNs[i%uint32(len(c.stats.PauseNs))]))
+	}
+	c.lastNumGC = c.stats.NumGC
+}
+
+// buildLabels extracts version/go/VCS identity from the embedded build info.
+// Values degrade to "unknown" in unstamped builds (go test binaries) so the
+// series shape is stable everywhere.
+func buildLabels() Labels {
+	l := Labels{"version": "unknown", "go": runtime.Version(), "vcs": "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return l
+	}
+	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		l["version"] = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			l["vcs"] = s.Value
+		}
+	}
+	return l
+}
+
+// RegisterProcessMetrics publishes the process series on r:
+//
+//	retrolock_build_info{version,go,vcs}  constant 1 (identity as labels)
+//	retrolock_runtime_goroutines          live goroutine count
+//	retrolock_runtime_heap_bytes          heap in use (memstats HeapAlloc)
+//	retrolock_runtime_gc_total            completed GC cycles
+//	retrolock_runtime_gc_pause_ns         stop-the-world pause histogram
+//	retrolock_runtime_uptime_seconds      seconds since registration
+//
+// Safe to call once per registry; reads are scrape-driven and rate-limit
+// the underlying ReadMemStats to one per second.
+func RegisterProcessMetrics(r *Registry) {
+	c := &processCollector{pause: &Histogram{}, start: time.Now(), refreshery: time.Second}
+	r.GaugeFunc(MetricBuildInfo, buildLabels(),
+		"build identity (always 1; version, go toolchain and VCS revision ride as labels)",
+		func() float64 { return 1 })
+	r.GaugeFunc(MetricRuntimeGoroutines, nil, "live goroutines",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc(MetricRuntimeHeapBytes, nil, "heap bytes in use (memstats HeapAlloc)",
+		func() float64 { c.refresh(); return float64(c.stats.HeapAlloc) })
+	r.CounterFunc(MetricRuntimeGCTotal, nil, "completed GC cycles",
+		func() float64 { c.refresh(); return float64(c.stats.NumGC) })
+	r.AddHistogram(MetricRuntimeGCPauseNs, nil, "GC stop-the-world pauses (ns)", c.pause)
+	r.GaugeFunc(MetricRuntimeUptime, nil, "seconds since the process registered its metrics",
+		func() float64 { return time.Since(c.start).Seconds() })
+}

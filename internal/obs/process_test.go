@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRegisterProcessMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcessMetrics(r)
+
+	// A couple of GC cycles before the first snapshot, so the collector has
+	// pauses to drain from the memstats ring.
+	runtime.GC()
+	runtime.GC()
+	snap := r.Snapshot()
+
+	var buildKey string
+	for k := range snap {
+		if strings.HasPrefix(k, MetricBuildInfo+"{") {
+			buildKey = k
+		}
+	}
+	if buildKey == "" {
+		t.Fatalf("no %s series in snapshot", MetricBuildInfo)
+	}
+	if snap[buildKey] != 1 {
+		t.Errorf("%s = %v, want constant 1", buildKey, snap[buildKey])
+	}
+	for _, lbl := range []string{`version=`, `go=`, `vcs=`} {
+		if !strings.Contains(buildKey, lbl) {
+			t.Errorf("%s key %q misses the %s label", MetricBuildInfo, buildKey, lbl)
+		}
+	}
+	if !strings.Contains(buildKey, runtime.Version()) {
+		t.Errorf("%s key %q does not carry the toolchain version %q", MetricBuildInfo, buildKey, runtime.Version())
+	}
+
+	if v := snap[MetricRuntimeGoroutines]; v < 1 {
+		t.Errorf("%s = %v, want >= 1", MetricRuntimeGoroutines, v)
+	}
+	if v := snap[MetricRuntimeHeapBytes]; v <= 0 {
+		t.Errorf("%s = %v, want > 0", MetricRuntimeHeapBytes, v)
+	}
+	if v := snap[MetricRuntimeGCTotal]; v < 2 {
+		t.Errorf("%s = %v, want >= 2 after two forced GCs", MetricRuntimeGCTotal, v)
+	}
+	if v := snap[MetricRuntimeUptime]; v < 0 {
+		t.Errorf("%s = %v, want >= 0", MetricRuntimeUptime, v)
+	}
+	if v := snap[MetricRuntimeGCPauseNs+"_count"]; v < 1 {
+		t.Errorf("%s_count = %v, want >= 1 (pauses drained from the memstats ring)", MetricRuntimeGCPauseNs, v)
+	}
+
+	// The series must render in the exposition format too — this catches a
+	// malformed label set, which Snapshot would happily accept.
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		MetricBuildInfo, MetricRuntimeGoroutines, MetricRuntimeHeapBytes,
+		MetricRuntimeGCTotal, MetricRuntimeGCPauseNs, MetricRuntimeUptime,
+	} {
+		if !strings.Contains(b.String(), name) {
+			t.Errorf("prometheus exposition misses %s", name)
+		}
+	}
+}
+
+func TestProcessMetricsRefreshRateLimit(t *testing.T) {
+	r := NewRegistry()
+	RegisterProcessMetrics(r)
+	// Heap reads inside the refresh window must serve the cached memstats:
+	// two immediate snapshots see the same value even while the test itself
+	// allocates between them.
+	first := r.Snapshot()[MetricRuntimeHeapBytes]
+	_ = make([]byte, 1<<20)
+	second := r.Snapshot()[MetricRuntimeHeapBytes]
+	if first != second {
+		t.Errorf("heap gauge re-read memstats inside the refresh window: %v then %v", first, second)
+	}
+}

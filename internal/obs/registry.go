@@ -274,6 +274,30 @@ func (r *Registry) ExtraHandlers() []struct {
 	return out
 }
 
+// VisitSeries calls fn for every registered scalar series (kind "gauge" or
+// "counter"), in registration order. The read closures stay live after the
+// visit — this is how the history store binds retention to a registry
+// without the registry knowing about retention.
+func (r *Registry) VisitSeries(fn func(key, kind string, read func() float64)) {
+	r.mu.Lock()
+	ser := append([]*series(nil), r.series...)
+	r.mu.Unlock()
+	for _, s := range ser {
+		fn(s.key, s.kind, s.read)
+	}
+}
+
+// VisitHistograms calls fn for every registered histogram, in registration
+// order.
+func (r *Registry) VisitHistograms(fn func(key string, h *Histogram)) {
+	r.mu.Lock()
+	hists := append([]*histSeries(nil), r.hists...)
+	r.mu.Unlock()
+	for _, hs := range hists {
+		fn(hs.key, hs.h)
+	}
+}
+
 // SetHealth attaches a health SLO engine; the registry's mux then serves
 // its verdict at /healthz. The last attached engine wins.
 func (r *Registry) SetHealth(h *Health) {
@@ -301,6 +325,10 @@ func (r *Registry) HealthHandler() http.Handler {
 		}
 		sig := h.Signals()
 		w.Header().Set("Content-Type", "application/json")
+		// A verdict is only good for the instant it was served: without an
+		// explicit no-store, an intermediary (or a browser re-sniffing the
+		// body) can keep answering from a stale copy.
+		w.Header().Set("Cache-Control", "no-store")
 		if sig.State == Infeasible {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}

@@ -55,6 +55,12 @@ type FleetConfig struct {
 	// goroutine (relayd writes the .rkcp file here). Nil disables
 	// snapshotting but still counts flips.
 	OnCapture func(AnomalyCapture)
+	// DisableFlipCapture stops per-session verdict flips from triggering
+	// captures; CaptureBurning (driven by a burn-rate alert firing) becomes
+	// the only capture trigger. Flips are still counted. Use when an alert
+	// engine owns the capture decision, so a fleet-wide incident yields one
+	// representative bundle instead of a bundle per flipped session.
+	DisableFlipCapture bool
 }
 
 func (c FleetConfig) withDefaults() FleetConfig {
@@ -246,7 +252,9 @@ func (f *Fleet) Tick(now time.Time) FleetSummary {
 			case v > prev && v >= obs.Degraded:
 				fs.flips++
 				f.flips++
-				f.maybeCapture(fs, ref, now, v)
+				if !f.cfg.DisableFlipCapture {
+					f.maybeCapture(fs, ref, now, v)
+				}
 			case fs.wantCapture && v >= obs.Degraded:
 				f.maybeCapture(fs, ref, now, v) // rate-limit retry
 			case v == obs.Healthy:
@@ -376,6 +384,51 @@ func (f *Fleet) FlushPending(now time.Time) int {
 		n++
 	}
 	return n
+}
+
+// CaptureBurning is the alert-driven capture trigger: it snapshots the single
+// worst currently-unhealthy, not-yet-captured session into a bundle, subject
+// to the same lifetime and rate-limit guards as flip captures. relayd wires
+// it to the burn-rate engine's fire transition, so a fleet-wide incident
+// yields one representative .rkcp instead of one per degraded session.
+//
+// The victim choice is deterministic regardless of map iteration order:
+// worst verdict first, then lowest token. Returns the captured session's
+// token, or ok=false when nothing qualified (no unhealthy sessions, all
+// captured already, guards tripped, or no OnCapture sink).
+func (f *Fleet) CaptureBurning(now time.Time) (tok Token, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cfg.OnCapture == nil {
+		return 0, false
+	}
+	var victim *fleetSession
+	for _, fs := range f.sessions {
+		if fs.captured || fs.verdict < obs.Degraded || fs.stats.ring == nil {
+			continue
+		}
+		if victim == nil || fs.verdict > victim.verdict ||
+			(fs.verdict == victim.verdict && fs.token < victim.token) {
+			victim = fs
+		}
+	}
+	if victim == nil {
+		return 0, false
+	}
+	ref := statRef{token: victim.token, stats: victim.stats, gen: victim.gen}
+	if !ref.valid() {
+		return 0, false
+	}
+	if f.captures >= int64(f.cfg.CaptureLimit) {
+		f.suppressed++
+		return 0, false
+	}
+	if f.lastCaptureNs != 0 && now.UnixNano()-f.lastCaptureNs < int64(f.cfg.CaptureEvery) {
+		f.suppressed++
+		return 0, false
+	}
+	f.captureLocked(victim, ref, now, victim.verdict)
+	return victim.token, true
 }
 
 // Snapshot returns the last completed tick's view (never nil).

@@ -100,6 +100,9 @@ func RenderTable(snap *FleetSnapshot) string {
 func (f *Fleet) SessionsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		snap := f.Snapshot()
+		// The snapshot is one tick old at best — a cached copy is arbitrarily
+		// stale, so tell intermediaries not to keep it.
+		w.Header().Set("Cache-Control", "no-store")
 		if req.URL.Query().Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(snap)
@@ -168,6 +171,7 @@ func (f *Fleet) Detail(tok Token) (SessionDetail, bool) {
 // SessionDetailHandler serves GET /sessions/<token> as JSON.
 func (f *Fleet) SessionDetailHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Cache-Control", "no-store")
 		raw := strings.TrimPrefix(req.URL.Path, "/sessions/")
 		tok, err := ParseToken(raw)
 		if err != nil {

@@ -401,3 +401,36 @@ func TestFleetHTTP(t *testing.T) {
 		t.Fatalf("metrics miss fleet series: %d", code)
 	}
 }
+
+// TestSessionsHandlerHeaders pins the ops-surface header contract: explicit
+// Content-Type per format and Cache-Control: no-store — a fleet census is
+// only good for the instant it was served.
+func TestSessionsHandlerHeaders(t *testing.T) {
+	h := newFleetHarness(t, Config{}, FleetConfig{Window: 250 * time.Millisecond})
+	tok := h.place()
+	h.drive(time.Second, 25*time.Millisecond, tok)
+	h.f.Tick(h.clk.Now())
+
+	cases := []struct {
+		handler  http.Handler
+		target   string
+		wantType string
+	}{
+		{h.f.SessionsHandler(), "/sessions", "text/plain"},
+		{h.f.SessionsHandler(), "/sessions?format=json", "application/json"},
+		{h.f.SessionDetailHandler(), "/sessions/" + tok.String(), "application/json"},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		c.handler.ServeHTTP(rec, httptest.NewRequest("GET", c.target, nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET %s = %d, want 200", c.target, rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, c.wantType) {
+			t.Errorf("GET %s Content-Type = %q, want %s", c.target, ct, c.wantType)
+		}
+		if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+			t.Errorf("GET %s Cache-Control = %q, want no-store", c.target, cc)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -14,6 +15,7 @@ import (
 	"retrolock/internal/capture"
 	"retrolock/internal/netem"
 	"retrolock/internal/obs"
+	"retrolock/internal/obs/history"
 	"retrolock/internal/simnet"
 	"retrolock/internal/vclock"
 )
@@ -81,9 +83,10 @@ func TestRelaySoak10kSessionsUnderChaos(t *testing.T) {
 	}
 
 	// Fleet aggregator: grades every session's inter-arrival cadence against
-	// the drivers' send tick. CaptureLimit 1 makes the anomaly-capture rate
-	// limit itself an assertion target: the chaos phase degrades hundreds of
-	// sessions at once, and exactly one .rkcp bundle may come out.
+	// the drivers' send tick. Flip-driven capture is off — the burn-rate
+	// alert below owns the capture decision — and CaptureLimit 1 makes the
+	// capture guards themselves an assertion target: the chaos phase burns
+	// hundreds of sessions at once, and exactly one .rkcp bundle may come out.
 	gradeWindow := 10 * *soakTick
 	var (
 		capMu   sync.Mutex
@@ -103,8 +106,9 @@ func TestRelaySoak10kSessionsUnderChaos(t *testing.T) {
 			FrameDegradedMargin:   *soakTick / 5,
 			FrameInfeasibleMargin: 4 * *soakTick,
 		},
-		CaptureLimit: 1,
-		CaptureEvery: time.Hour,
+		CaptureLimit:       1,
+		CaptureEvery:       time.Hour,
+		DisableFlipCapture: true,
 		OnCapture: func(ac AnomalyCapture) {
 			capMu.Lock()
 			bundles = append(bundles, ac)
@@ -114,6 +118,61 @@ func TestRelaySoak10kSessionsUnderChaos(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+
+	// History + burn-rate alerting over the fleet's verdict gauges: the
+	// alert burns when the unhealthy fraction of the fleet exceeds 4x a 5%
+	// budget over both a fast (2-window) and slow (4-window) span. Firing
+	// triggers the single alert-driven capture; a second CaptureBurning call
+	// in the same handler asserts the lifetime limit holds while hundreds of
+	// sessions are still burning.
+	reg := obs.NewRegistry()
+	fl.Register(reg)
+	var (
+		alertMu       sync.Mutex
+		alertEvents   []history.Event
+		extraCaptures atomic.Int64
+	)
+	var svc *history.Service
+	svc = history.Wire(reg, history.Options{
+		Store: history.Config{Resolutions: []history.Resolution{
+			{Step: gradeWindow, Slots: 120},
+			{Step: 5 * gradeWindow, Slots: 120},
+		}},
+		Rules: []history.Rule{{
+			Name:   "fleet-session-health",
+			Source: history.SourceGauge,
+			Bad: []string{
+				obs.Key(MetricSessionVerdicts, obs.Labels{"state": "degraded"}),
+				obs.Key(MetricSessionVerdicts, obs.Labels{"state": "infeasible"}),
+			},
+			Total:      []string{MetricSessionTracked},
+			Budget:     0.05,
+			FastWindow: 2 * gradeWindow,
+			SlowWindow: 4 * gradeWindow,
+			Threshold:  4,
+			ClearAfter: 2,
+		}},
+		OnTransition: func(ev history.Event) {
+			alertMu.Lock()
+			alertEvents = append(alertEvents, ev)
+			alertMu.Unlock()
+			if !ev.Firing {
+				return
+			}
+			at := time.Unix(0, ev.AtNs)
+			snap := fl.Snapshot()
+			svc.Log.Annotate(ev.Name, at, "fleet: %d tracked, %d degraded, %d infeasible, %d flips",
+				snap.Summary.Tracked, snap.Summary.Degraded, snap.Summary.Infeasible, snap.Summary.Flips)
+			if tok, ok := fl.CaptureBurning(at); ok {
+				svc.Log.AttachCapture(ev.Name, history.CaptureRef{
+					Session: tok.String(), Path: "(in-memory)", AtNs: ev.AtNs,
+				})
+			}
+			if _, ok := fl.CaptureBurning(at); ok {
+				extraCaptures.Add(1)
+			}
+		},
+	})
 
 	// Admission: place every session up front (the lobby admission flow has
 	// its own tests; the soak targets the packet path at scale).
@@ -266,10 +325,12 @@ func TestRelaySoak10kSessionsUnderChaos(t *testing.T) {
 	}
 	var warmupSnap, healStart, healEnd snapshot
 	var partEndCensus, healEndCensus census
-	// The heal phase is 6 grading windows long: the first window after the
+	// The heal phase is 10 grading windows long: the first window after the
 	// partition grades degraded (its mean gap includes one partition-length
-	// hole per site), and recovery needs RecoverAfter=3 strictly-better
-	// windows after that — plus one window of phase-alignment slack.
+	// hole per site), recovery needs RecoverAfter=3 strictly-better windows
+	// after that, and then the alert's slow window (4 grading windows) must
+	// drain below the clearing bound for ClearAfter consecutive evaluations
+	// before the burn-rate alert resolves — plus phase-alignment slack.
 	phases := []struct {
 		name string
 		dur  time.Duration
@@ -277,7 +338,7 @@ func TestRelaySoak10kSessionsUnderChaos(t *testing.T) {
 		{"warmup", time.Second},
 		{"burst-loss", time.Second},
 		{"partition", time.Second},
-		{"heal", 3 * time.Second},
+		{"heal", 5 * time.Second},
 	}
 	controller := v.Go(func() {
 		for _, ph := range phases {
@@ -315,6 +376,16 @@ func TestRelaySoak10kSessionsUnderChaos(t *testing.T) {
 
 	d.StartVirtual(v)
 	fl.StartVirtual(v)
+	// History sampler: one base tick per grading window, phase-offset half a
+	// window behind the fleet tick so every sample reads a freshly published
+	// verdict census (never racing the same virtual instant).
+	samplerDone := v.Go(func() {
+		v.Sleep(gradeWindow + gradeWindow/2)
+		for !stop.Load() {
+			svc.Sample(v.Now())
+			v.Sleep(gradeWindow)
+		}
+	})
 	dones := make([]<-chan struct{}, 0, nDrivers)
 	for _, dr := range drivers {
 		dr := dr
@@ -324,6 +395,7 @@ func TestRelaySoak10kSessionsUnderChaos(t *testing.T) {
 	for _, done := range dones {
 		<-done
 	}
+	<-samplerDone
 	// Grab the fleet's end-of-run state before tearing anything down: the
 	// capture limit was already hit, so FlushPending must emit nothing.
 	flushed := fl.FlushPending(v.Now())
@@ -504,6 +576,89 @@ func TestRelaySoak10kSessionsUnderChaos(t *testing.T) {
 	t.Logf("fleet: window=%v graded=%d flips=%d captures=%d suppressed=%d chaos-unhealthy(part-end)=%d/%d",
 		gradeWindow, fleetSnap.Summary.Graded, fleetSnap.Summary.Flips, fleetSnap.Summary.Captures,
 		fleetSnap.Summary.Suppressed, partEndCensus.chaosUnhealthy, chaosSessions)
+
+	// 7. Burn-rate alerting and the incident timeline. The chaos storm must
+	// fire the fleet-health alert exactly once, inside the chaos phases (the
+	// fast window sees burst-loss damage, so firing lands in burst-loss or
+	// partition), and the alert must clear before the heal phase ends. The
+	// firing transition drives the one capture; the incident log correlates
+	// the alert with the fleet census note and the captured session.
+	alertMu.Lock()
+	gotEvents := append([]history.Event(nil), alertEvents...)
+	alertMu.Unlock()
+	if len(gotEvents) != 2 || !gotEvents[0].Firing || gotEvents[1].Firing {
+		t.Fatalf("alert transitions = %+v, want exactly [fire, clear]", gotEvents)
+	}
+	var bound time.Duration
+	for _, ph := range phases[:1] { // warmup end
+		bound += ph.dur
+	}
+	chaosStartNs := soakEpoch.Add(bound).UnixNano()
+	chaosEndNs := soakEpoch.Add(bound + phases[1].dur + phases[2].dur).UnixNano()
+	healEndNs := soakEpoch.Add(bound + phases[1].dur + phases[2].dur + phases[3].dur).UnixNano()
+	if at := gotEvents[0].AtNs; at <= chaosStartNs || at > chaosEndNs {
+		t.Errorf("alert fired at %v, want inside the chaos phases (%v, %v]",
+			time.Duration(at-soakEpoch.UnixNano()), time.Duration(chaosStartNs-soakEpoch.UnixNano()),
+			time.Duration(chaosEndNs-soakEpoch.UnixNano()))
+	}
+	if at := gotEvents[1].AtNs; at <= gotEvents[0].AtNs || at > healEndNs {
+		t.Errorf("alert cleared at %v, want after firing and before heal end (%v)",
+			time.Duration(at-soakEpoch.UnixNano()), time.Duration(healEndNs-soakEpoch.UnixNano()))
+	}
+	if n := extraCaptures.Load(); n != 0 {
+		t.Errorf("CaptureBurning emitted %d bundles past the lifetime limit", n)
+	}
+	if n := svc.Engine.Firing(); n != 0 {
+		t.Errorf("%d alerts still firing after the heal", n)
+	}
+	incidents, dropped := svc.Log.Snapshot()
+	if dropped != 0 || len(incidents) != 1 {
+		t.Fatalf("incident log holds %d incidents (%d dropped), want exactly 1", len(incidents), dropped)
+	}
+	inc := incidents[0]
+	if inc.Alert != "fleet-session-health" || !inc.Resolved() {
+		t.Errorf("incident = %+v, want a resolved fleet-session-health incident", inc)
+	}
+	if len(inc.Notes) == 0 {
+		t.Error("incident carries no fleet-context note")
+	}
+	if len(inc.Captures) != 1 {
+		t.Fatalf("incident references %d captures, want 1", len(inc.Captures))
+	}
+	if inc.Captures[0].Session != gotBundles[0].Token.String() {
+		t.Errorf("incident capture ref %s does not match the emitted bundle %s",
+			inc.Captures[0].Session, gotBundles[0].Token)
+	}
+	// The alert series are themselves retained: the firing gauge's history
+	// must show both the firing and the quiet state.
+	firingKey := obs.Key(history.MetricAlertFiring, obs.Labels{"alert": "fleet-session-health"})
+	pts, _, ok := svc.Store.QueryScalar(firingKey, 0, v.Elapsed())
+	if !ok {
+		t.Fatalf("alert firing gauge %s not retained by the history store", firingKey)
+	}
+	var sawFiring, sawQuiet bool
+	for _, p := range pts {
+		if p.Value >= 1 {
+			sawFiring = true
+		} else {
+			sawQuiet = true
+		}
+	}
+	if !sawFiring || !sawQuiet {
+		t.Errorf("retained firing-gauge history never showed both states: firing=%v quiet=%v over %d points",
+			sawFiring, sawQuiet, len(pts))
+	}
+	var timeline strings.Builder
+	history.RenderTimeline(&timeline, incidents, dropped)
+	t.Logf("incident timeline:\n%s", timeline.String())
+	// CI keeps the timeline next to the anomaly bundle when the soak fails:
+	// the .rkcp is the repro evidence, this is the narrative around it.
+	if dir := os.Getenv("RETROLOCK_RELAY_CAPTURE_DIR"); dir != "" {
+		path := filepath.Join(dir, "incidents.txt")
+		if err := os.WriteFile(path, []byte(timeline.String()), 0o644); err != nil {
+			t.Errorf("writing incident timeline artifact: %v", err)
+		}
+	}
 
 	var sent int64
 	for _, s := range sessions {

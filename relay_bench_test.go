@@ -9,8 +9,11 @@ package retrolock_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"retrolock/internal/capture"
+	"retrolock/internal/obs"
+	"retrolock/internal/obs/history"
 	"retrolock/internal/relay"
 )
 
@@ -232,5 +235,57 @@ func TestRelayShardStepStatsDoesNotAllocate(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(500, step); allocs != 0 {
 		t.Fatalf("relay packet path with stats+ring allocates %v per batch, want 0", allocs)
+	}
+}
+
+// BenchmarkRelayShardStepHistory is BenchmarkRelayShardStepStats with the
+// full PR-10 observability cadence riding each step: the fleet grader's
+// verdict gauges registered on an obs registry, the history store retaining
+// them at three resolutions, and a burn-rate rule evaluated every tick. In
+// production the retention tick fires once per second, not once per batch —
+// this benchmark deliberately overweights it so a regression in the
+// sampling path is visible per shard step, and so the allocs/op gate pins
+// the whole cadence at zero.
+func BenchmarkRelayShardStepHistory(b *testing.B) {
+	const batch = 64
+	d, toks, addrs := benchRelayDaemon(b, relay.Config{Shards: 1, Stats: true}, 64)
+	defer d.Close()
+	fl, err := relay.NewFleet(d, relay.FleetConfig{Window: time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	fl.Register(reg)
+	svc := history.Wire(reg, history.Options{
+		Rules: []history.Rule{{
+			Name:   "fleet-session-health",
+			Source: history.SourceGauge,
+			Bad: []string{
+				obs.Key(relay.MetricSessionVerdicts, obs.Labels{"state": "degraded"}),
+				obs.Key(relay.MetricSessionVerdicts, obs.Labels{"state": "infeasible"}),
+			},
+			Total:      []string{relay.MetricSessionTracked},
+			Budget:     0.05,
+			FastWindow: time.Minute,
+			SlowWindow: 5 * time.Minute,
+		}},
+	})
+	ms := benchRelayBatch(batch)
+	sh := d.Shards()[0]
+	now := time.Date(2009, 6, 22, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 64; i++ { // warm the rings past their first slot seals
+		now = now.Add(time.Second)
+		svc.Sample(now)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n, round := 0, 0; n < b.N; n, round = n+batch, round+1 {
+		b.StopTimer()
+		stampRelayBatch(ms, toks, addrs, round)
+		d.Route(ms, batch)
+		now = now.Add(time.Second)
+		b.StartTimer()
+		sh.Step()
+		svc.Sample(now)
 	}
 }
